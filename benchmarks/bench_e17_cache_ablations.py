@@ -1,0 +1,137 @@
+"""E17 (ablation; §3.2 future work): cache index and best-match selection.
+
+Two behaviours the paper plans beyond Tableau 9.0:
+
+* "we are planning to maintain an index over the cache to minimize the
+  lookup time" — measured as lookup latency vs cache population, with and
+  without the inverted index;
+* "we plan to choose the entry that requires the least post-processing"
+  — measured as post-processing latency when a narrow and a wide
+  provider both match.
+
+Expected shape: linear-scan lookup cost grows with the entry count while
+indexed lookups stay flat; choose_best serves the request measurably
+faster when providers differ in size.
+"""
+
+import pytest
+
+from repro.core.cache.intelligent import IntelligentCache
+from repro.sim.metrics import Recorder, time_call
+
+from .conftest import COUNT, SUM_DELAY, record, spec
+
+DIMENSION_POOL = [
+    "date_", "hour", "carrier_id", "market_id", "origin_state_id",
+    "dest_state_id", "distance", "cancelled", "diverted", "code",
+    "carrier_name", "market", "origin_airport", "dest_airport",
+]
+
+
+def _filler_specs(n: int):
+    """n distinct cached entries shaped like real interaction residue:
+    varied dimension pairs, most carrying a filter on some other field."""
+    from repro.queries import CategoricalFilter
+
+    out = []
+    for i in range(n):
+        dims = (
+            DIMENSION_POOL[i % len(DIMENSION_POOL)],
+            DIMENSION_POOL[(i * 7 + 3) % len(DIMENSION_POOL)],
+        )
+        filters = ()
+        if i % 4 != 0:  # three quarters are filtered interaction results
+            filter_field = DIMENSION_POOL[(i * 5 + 1) % len(DIMENSION_POOL)]
+            filters = (CategoricalFilter(filter_field, (i % 12, (i + 1) % 12)),)
+        out.append(
+            spec(
+                dimensions=tuple(dict.fromkeys(dims)),
+                measures=((f"m{i}", COUNT),),
+                filters=filters,
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def tiny_table():
+    from repro.tde.storage import Table
+
+    return Table.from_pydict({"carrier_name": ["AA"], "n": [1]})
+
+
+def test_e17_cache_index(benchmark, tiny_table):
+    recorder = Recorder(
+        "E17a: lookup latency vs cache population (miss path, µs)",
+        columns=["entries", "linear_us", "indexed_us", "examined_linear", "examined_indexed"],
+    )
+    probe = spec(dimensions=("carrier_name",), measures=(("zz", SUM_DELAY),))
+    results = []
+    for n_entries in (16, 64, 256, 1024):
+        linear = IntelligentCache()
+        indexed = IntelligentCache(use_index=True)
+        for s in _filler_specs(n_entries):
+            linear.put(s, tiny_table)
+            indexed.put(s, tiny_table)
+        t_linear, _ = time_call(lambda: linear.lookup(probe), repeat=3)
+        t_indexed, _ = time_call(lambda: indexed.lookup(probe), repeat=3)
+        examined = indexed.index.candidates_examined
+        recorder.add(n_entries, t_linear * 1e6, t_indexed * 1e6, n_entries, examined)
+        results.append((n_entries, t_linear, t_indexed))
+    record("e17a_cache_index", recorder)
+
+    # The index keeps the miss path flat while linear scans grow.
+    small_linear, big_linear = results[0][1], results[-1][1]
+    small_indexed, big_indexed = results[0][2], results[-1][2]
+    assert big_linear > small_linear * 5
+    assert big_indexed < big_linear / 5
+
+    biggest = IntelligentCache(use_index=True)
+    for s in _filler_specs(1024):
+        biggest.put(s, tiny_table)
+    benchmark(lambda: biggest.lookup(probe))
+
+
+def test_e17b_choose_best(benchmark, dataset, model):
+    from repro.core.pipeline import PipelineOptions, QueryPipeline
+
+    from .conftest import make_backend
+
+    _db, source = make_backend(dataset, name="choosebest")
+    raw = QueryPipeline(
+        source,
+        model,
+        options=PipelineOptions(
+            enable_intelligent_cache=False, enable_literal_cache=False, enrich_for_reuse=False
+        ),
+    )
+    wide = spec(dimensions=("date_", "hour", "carrier_name"), measures=(("n", COUNT),))
+    narrow = spec(dimensions=("carrier_name", "market_id"), measures=(("n", COUNT),))
+    request = spec(dimensions=("carrier_name",), measures=(("n", COUNT),))
+    wide_table = raw.run_spec(wide)
+    narrow_table = raw.run_spec(narrow)
+
+    def build(choose_best: bool) -> IntelligentCache:
+        cache = IntelligentCache(choose_best=choose_best)
+        cache.put(wide, wide_table)  # first match under insertion order
+        cache.put(narrow, narrow_table)
+        return cache
+
+    first_cache = build(False)
+    best_cache = build(True)
+    t_first, a = time_call(lambda: first_cache.lookup(request), repeat=5)
+    t_best, b = time_call(lambda: best_cache.lookup(request), repeat=5)
+    assert a.approx_equals(b, ordered=False)
+
+    recorder = Recorder(
+        "E17b: first-match vs least-post-processing match",
+        columns=["policy", "provider_rows", "elapsed_us"],
+    )
+    recorder.add("first match (Tableau 9.0)", wide_table.n_rows, t_first * 1e6)
+    recorder.add("least post-processing", narrow_table.n_rows, t_best * 1e6)
+    record("e17b_choose_best", recorder)
+
+    assert wide_table.n_rows > narrow_table.n_rows * 5
+    assert t_best < t_first  # rolling up fewer rows is cheaper
+
+    benchmark(lambda: best_cache.lookup(request))

@@ -1,0 +1,57 @@
+"""E1 (Figure 1): rendering the FAA dashboard, cold vs warm.
+
+Paper claim: dashboard generation is dominated by query processing;
+caching across refreshes/users makes subsequent loads nearly free.
+Expected shape: the cold render issues one remote query batch; a warm
+render (same pipeline, second user) issues zero remote queries and is at
+least an order of magnitude faster.
+"""
+
+import pytest
+
+from repro.core.pipeline import QueryPipeline
+from repro.dashboard import DashboardSession
+from repro.sim.metrics import Recorder
+from repro.workloads import fig1_dashboard
+
+from .conftest import make_backend, record
+
+
+@pytest.fixture(scope="module")
+def backend(dataset):
+    return make_backend(dataset)
+
+
+def _cold_render(source, model):
+    pipeline = QueryPipeline(source, model)
+    session = DashboardSession(fig1_dashboard(), pipeline)
+    return session, session.render()
+
+
+def test_e1_dashboard_render(benchmark, dataset, model, backend):
+    db, source = backend
+    session, cold = _cold_render(source, model)
+    warm_user = DashboardSession(fig1_dashboard(), session.pipeline)
+    warm = warm_user.render()
+
+    recorder = Recorder(
+        "E1: Fig-1 dashboard render (9 zones)",
+        columns=["phase", "iterations", "queries", "remote", "cache_hits", "elapsed_ms"],
+    )
+    recorder.add("cold load", cold.iterations, cold.total_queries, cold.remote_queries,
+                 cold.cache_hits, cold.elapsed_s * 1000)
+    recorder.add("warm load (2nd user)", warm.iterations, warm.total_queries,
+                 warm.remote_queries, warm.cache_hits, warm.elapsed_s * 1000)
+    record("e1_dashboard_render", recorder)
+
+    # Shape: warm load needs no backend work and is much faster.
+    assert cold.remote_queries > 0
+    assert warm.remote_queries == 0
+    assert warm.elapsed_s < cold.elapsed_s / 5
+
+    def warm_render():
+        user = DashboardSession(fig1_dashboard(), session.pipeline)
+        return user.render()
+
+    result = benchmark(warm_render)
+    assert result.remote_queries == 0

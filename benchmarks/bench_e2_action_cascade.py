@@ -1,0 +1,63 @@
+"""E2 (Figure 2): interactive filter actions and the selection cascade.
+
+Paper behaviour to reproduce: selecting HNL-OGG after an AA carrier
+selection triggers a *second* iteration that re-queries the Airline Name
+zone without the carrier filter, because AA vanished from the carrier
+zone. Expected shape: the cascading interaction runs exactly 2 iterations
+and drops exactly the stale selection; simple interactions run 1.
+"""
+
+import pytest
+
+from repro.core.pipeline import QueryPipeline
+from repro.dashboard import DashboardSession
+from repro.sim.metrics import Recorder
+from repro.workloads import fig2_dashboard
+
+from .conftest import make_backend, record
+
+
+@pytest.fixture(scope="module")
+def backend(dataset):
+    return make_backend(dataset)
+
+
+def _fresh_session(source, model):
+    session = DashboardSession(fig2_dashboard(), QueryPipeline(source, model))
+    session.render()
+    return session
+
+
+def test_e2_action_cascade(benchmark, dataset, model, backend):
+    _db, source = backend
+    session = _fresh_session(source, model)
+    simple = session.select("market", ["LAX-SFO"])
+    with_carrier = session.select("carrier", ["AA"])
+    cascade = session.select("market", ["HNL-OGG"])
+
+    recorder = Recorder(
+        "E2: Fig-2 interactive filter actions",
+        columns=["interaction", "iterations", "queries", "remote", "dropped", "elapsed_ms"],
+    )
+    for label, r in (
+        ("select market LAX-SFO", simple),
+        ("select carrier AA", with_carrier),
+        ("select market HNL-OGG (cascade)", cascade),
+    ):
+        recorder.add(label, r.iterations, r.total_queries, r.remote_queries,
+                     len(r.dropped_selections), r.elapsed_s * 1000)
+    record("e2_action_cascade", recorder)
+
+    assert simple.iterations == 1
+    assert cascade.iterations == 2
+    assert ("carrier", "AA") in cascade.dropped_selections
+    assert session.zone_tables["carrier"].to_pydict()["code"] == ["AS"]
+
+    def run_cascade():
+        s = _fresh_session(source, model)
+        s.select("market", ["LAX-SFO"])
+        s.select("carrier", ["AA"])
+        return s.select("market", ["HNL-OGG"])
+
+    result = benchmark.pedantic(run_cascade, rounds=3, iterations=1)
+    assert result.iterations == 2

@@ -1,0 +1,104 @@
+"""E4 (§3.4): query fusion.
+
+"Since it is quite common for different zones of a dashboard to share the
+same filters but request different columns, the reduction might be
+substantial. More importantly processing of a fused query is often much
+more efficient ... as the underlying relation needs to be computed only
+once." Expected shape: with N zones over the same filtered relation,
+fusion sends 1 remote query instead of N and wall time grows far slower
+with N.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.pipeline import PipelineOptions, QueryPipeline
+from repro.expr.ast import AggExpr, ColumnRef
+from repro.queries import RangeFilter
+from repro.sim.metrics import Recorder
+
+from .conftest import COUNT, make_backend, record, spec
+
+_MEASURE_POOL = [
+    ("n", COUNT),
+    ("dep", AggExpr("sum", ColumnRef("dep_delay"))),
+    ("arr", AggExpr("sum", ColumnRef("arr_delay"))),
+    ("lo", AggExpr("min", ColumnRef("dep_delay"))),
+    ("hi", AggExpr("max", ColumnRef("dep_delay"))),
+    ("dist", AggExpr("sum", ColumnRef("distance"))),
+    ("avg_dep", AggExpr("avg", ColumnRef("dep_delay"))),
+    ("avg_dist", AggExpr("avg", ColumnRef("distance"))),
+    ("far", AggExpr("max", ColumnRef("distance"))),
+    ("near", AggExpr("min", ColumnRef("distance"))),
+    ("hours", AggExpr("sum", ColumnRef("hour"))),
+    ("avg_arr", AggExpr("avg", ColumnRef("arr_delay"))),
+    ("u", AggExpr("count_distinct", ColumnRef("market_id"))),
+    ("mh", AggExpr("max", ColumnRef("hour"))),
+    ("lh", AggExpr("min", ColumnRef("hour"))),
+    ("ad", AggExpr("avg", ColumnRef("hour"))),
+]
+
+
+def _zone_batch(n_zones: int):
+    """N zones sharing dims+filters, each asking for its own measure."""
+    shared_filter = (RangeFilter("date_", dt.date(2014, 2, 1), dt.date(2014, 12, 1)),)
+    return [
+        spec(
+            dimensions=("carrier_name",),
+            measures=(_MEASURE_POOL[i],),
+            filters=shared_filter,
+        )
+        for i in range(n_zones)
+    ]
+
+
+def _options(fusion: bool) -> PipelineOptions:
+    return PipelineOptions(
+        enable_intelligent_cache=False,
+        enable_literal_cache=False,
+        enable_batch_graph=False,
+        enrich_for_reuse=False,
+        concurrent=False,  # isolate fusion from concurrency effects
+        enable_fusion=fusion,
+    )
+
+
+def test_e4_query_fusion(benchmark, dataset, model):
+    _db, source = make_backend(dataset)
+    recorder = Recorder(
+        "E4: query fusion (zones sharing filters, distinct projections)",
+        columns=["zones", "remote (off)", "remote (on)", "ms (off)", "ms (on)", "speedup"],
+    )
+    shapes = []
+    for n_zones in (2, 4, 8, 16):
+        batch = _zone_batch(n_zones)
+        off = QueryPipeline(source, model, options=_options(False)).run_batch(batch)
+        on = QueryPipeline(source, model, options=_options(True)).run_batch(batch)
+        for s in batch:
+            assert off.table_for(s).approx_equals(on.table_for(s), ordered=False)
+        recorder.add(
+            n_zones,
+            off.remote_queries,
+            on.remote_queries,
+            off.elapsed_s * 1000,
+            on.elapsed_s * 1000,
+            off.elapsed_s / on.elapsed_s,
+        )
+        shapes.append((n_zones, off, on))
+    record("e4_query_fusion", recorder)
+
+    for n_zones, off, on in shapes:
+        assert off.remote_queries == n_zones
+        assert on.remote_queries == 1
+        assert on.elapsed_s < off.elapsed_s
+    # The benefit grows with the number of fused zones.
+    first_speedup = shapes[0][1].elapsed_s / shapes[0][2].elapsed_s
+    last_speedup = shapes[-1][1].elapsed_s / shapes[-1][2].elapsed_s
+    assert last_speedup > first_speedup
+
+    pipeline = QueryPipeline(source, model, options=_options(True))
+    result = benchmark.pedantic(
+        lambda: pipeline.run_batch(_zone_batch(8)), rounds=3, iterations=1
+    )
+    assert result.remote_queries <= 1

@@ -1,0 +1,66 @@
+"""Shared benchmark fixtures and result recording.
+
+Every experiment writes the series it measured (the paper-shaped rows)
+to ``benchmarks/_results/<experiment>.txt`` in addition to printing, so
+the numbers survive pytest's output capture; EXPERIMENTS.md points at
+these files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.connectors import SimDbDataSource
+from repro.connectors.simdb import ServerProfile, SimulatedDatabase
+from repro.expr.ast import AggExpr, ColumnRef
+from repro.queries import QuerySpec
+from repro.sim.metrics import Recorder
+from repro.workloads import flights_model, generate_flights
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+
+#: Fact-table size used by the pipeline-level experiments. Big enough for
+#: realistic service times, small enough to keep the harness quick.
+PIPELINE_ROWS = 20_000
+
+#: Benchmark backends run with inflated per-unit work so that the
+#: *modeled* service time dominates the (GIL-bound) real execution the
+#: simulated server performs for correctness — otherwise concurrency
+#: effects would be drowned out on a single-core host.
+BENCH_WORK_UNIT_S = 1.5e-6
+
+COUNT = AggExpr("count")
+SUM_DELAY = AggExpr("sum", ColumnRef("dep_delay"))
+AVG_DELAY = AggExpr("avg", ColumnRef("dep_delay"))
+AVG_ARR_DELAY = AggExpr("avg", ColumnRef("arr_delay"))
+
+
+def record(name: str, recorder: Recorder) -> None:
+    """Print the series and persist it under benchmarks/_results/."""
+    recorder.emit()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(recorder.render() + "\n")
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return generate_flights(PIPELINE_ROWS, seed=42)
+
+
+@pytest.fixture(scope="session")
+def model():
+    return flights_model()
+
+
+def make_backend(dataset, profile: ServerProfile | None = None, name: str = "warehouse"):
+    """A fresh simulated warehouse (fresh caches/stats per experiment)."""
+    if profile is None:
+        profile = ServerProfile(work_unit_time_s=BENCH_WORK_UNIT_S)
+    db = dataset.load_into_simdb(profile, name=name)
+    return db, SimDbDataSource(db)
+
+
+def spec(**kwargs) -> QuerySpec:
+    return QuerySpec("faa", **kwargs)

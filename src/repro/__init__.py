@@ -1,0 +1,28 @@
+"""repro — a reproduction of "On Improving User Response Times in Tableau"
+(SIGMOD 2015).
+
+The package implements the paper's data-processing stack from scratch:
+
+* ``repro.tde`` — the Tableau Data Engine: a columnar store with dictionary
+  compression, RLE/delta encodings, a TQL front end, a rule-based optimizer
+  and a Volcano execution engine with Exchange-based parallel plans.
+* ``repro.queries`` — the internal (VizQL-style) query model and compiler.
+* ``repro.sql`` — SQL generation/parsing for the simulated remote databases.
+* ``repro.connectors`` — connections, pooling, simulated backends, text
+  sources and shadow extracts.
+* ``repro.core`` — the paper's headline contribution: intelligent/literal
+  query caches, query-batch processing, query fusion and the concurrent
+  executor.
+* ``repro.dashboard`` — dashboards, zones and interactive filter actions.
+* ``repro.server`` — Tableau Server / Data Server: publishing, proxying,
+  temporary-table state, distributed caching and TDE clusters.
+* ``repro.sim`` — the virtual-time multicore machine used to measure
+  intra-query parallelism on hosts without many cores.
+* ``repro.workloads`` — deterministic synthetic workloads (FAA flights,
+  dashboards, multi-user traffic).
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-claim vs. measured record.
+"""
+
+__version__ = "0.9.0"

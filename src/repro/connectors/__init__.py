@@ -1,0 +1,33 @@
+"""Connections to data sources: pooling, simulated servers, file sources.
+
+Tableau "communicates with remote data sources by means of connections"
+(paper 3.1); connections are pooled and reused, including the temporary
+structures living in their remote sessions (3.5). Because the paper's 40+
+commercial backends are unavailable, the remote side here is
+:class:`~repro.connectors.simdb.SimulatedDatabase` — a small but real SQL
+server with a worker pool, admission control, per-query parallelism and
+temp tables, whose service times follow a calibrated cost model.
+"""
+
+from .connection import Connection, DataSource, TdeDataSource
+from .pool import ConnectionPool
+from .simdb import ServerProfile, SimulatedDatabase, SimDbDataSource
+from .textfile import infer_table, parse_text_file, parse_workbook, write_text_file
+from .shadow import ShadowExtractStore, FileDataSource, JetLikeDataSource
+
+__all__ = [
+    "Connection",
+    "DataSource",
+    "TdeDataSource",
+    "ConnectionPool",
+    "ServerProfile",
+    "SimulatedDatabase",
+    "SimDbDataSource",
+    "parse_text_file",
+    "parse_workbook",
+    "write_text_file",
+    "infer_table",
+    "ShadowExtractStore",
+    "FileDataSource",
+    "JetLikeDataSource",
+]

@@ -1,0 +1,244 @@
+"""In-house text/workbook parsers with metadata inference (paper 4.4).
+
+"Tableau uses an in-house parser for parsing text files ... The text
+parser accepts a schema file as additional input if one is available.
+Otherwise, it attempts to discover the metadata by performing type and
+column name inference."
+
+The "Excel" workbook stand-in is a multi-sheet text format (binary .xlsx
+parsing is out of scope offline): sheets are delimited by ``[sheet:Name]``
+header lines, each followed by a CSV block.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+import io
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..datatypes import LogicalType
+from ..errors import SourceError
+from ..tde.storage.table import Table
+
+#: Jet/Ace's infamous parse limit (paper 4.4: "a 4GB parsing limit").
+JET_PARSE_LIMIT_BYTES = 4 * 1024**3
+
+_TRUE_WORDS = {"true", "t", "yes", "y"}
+_FALSE_WORDS = {"false", "f", "no", "n"}
+_INFERENCE_SAMPLE_ROWS = 200
+
+
+def write_text_file(
+    path: str | Path,
+    data: Mapping[str, Sequence[Any]],
+    *,
+    delimiter: str = ",",
+) -> Path:
+    """Write a CSV file from a column mapping (test/bench helper)."""
+    path = Path(path)
+    names = list(data)
+    n_rows = len(data[names[0]]) if names else 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh, delimiter=delimiter)
+        writer.writerow(names)
+        for i in range(n_rows):
+            writer.writerow(["" if data[n][i] is None else _cell(data[n][i]) for n in names])
+    return path
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def parse_text_file(
+    path: str | Path,
+    *,
+    schema: Mapping[str, LogicalType] | None = None,
+    delimiter: str = ",",
+    max_bytes: int | None = None,
+) -> Table:
+    """Parse a delimited text file into a storage table.
+
+    ``schema`` plays the role of the optional schema file; without it the
+    parser infers column types from a sample. ``max_bytes`` emulates
+    legacy drivers' parse limits (pass :data:`JET_PARSE_LIMIT_BYTES`).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SourceError(f"no such file: {path}")
+    size = path.stat().st_size
+    if max_bytes is not None and size > max_bytes:
+        raise SourceError(
+            f"{path.name} is {size} bytes, beyond the {max_bytes}-byte parse limit"
+        )
+    with path.open(newline="") as fh:
+        return _parse_stream(fh, schema=schema, delimiter=delimiter)
+
+
+def parse_workbook(path: str | Path) -> dict[str, Table]:
+    """Parse a multi-sheet workbook file into ``{sheet_name: Table}``."""
+    path = Path(path)
+    if not path.exists():
+        raise SourceError(f"no such file: {path}")
+    sheets: dict[str, Table] = {}
+    current_name: str | None = None
+    buffer: list[str] = []
+    for line in path.read_text().splitlines():
+        if line.startswith("[sheet:") and line.rstrip().endswith("]"):
+            if current_name is not None:
+                sheets[current_name] = _parse_stream(io.StringIO("\n".join(buffer)))
+            current_name = line.strip()[len("[sheet:") : -1]
+            buffer = []
+        elif current_name is not None:
+            buffer.append(line)
+    if current_name is not None:
+        sheets[current_name] = _parse_stream(io.StringIO("\n".join(buffer)))
+    if not sheets:
+        raise SourceError(f"{path.name} contains no [sheet:...] blocks")
+    return sheets
+
+
+def write_workbook(path: str | Path, sheets: Mapping[str, Mapping[str, Sequence[Any]]]) -> Path:
+    """Write a multi-sheet workbook file (test/bench helper)."""
+    path = Path(path)
+    chunks = []
+    for name, data in sheets.items():
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        names = list(data)
+        writer.writerow(names)
+        n_rows = len(data[names[0]]) if names else 0
+        for i in range(n_rows):
+            writer.writerow(["" if data[n][i] is None else _cell(data[n][i]) for n in names])
+        chunks.append(f"[sheet:{name}]\n{buf.getvalue()}")
+    path.write_text("".join(chunks))
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# Parsing internals
+# ---------------------------------------------------------------------- #
+def _parse_stream(fh, *, schema=None, delimiter: str = ",") -> Table:
+    reader = csv.reader(fh, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SourceError("empty file: no header row") from None
+    header = _normalize_names(header)
+    rows = list(reader)
+    if schema is not None:
+        types = {name: schema[name] for name in header if name in schema}
+        missing = [name for name in header if name not in types]
+        if missing:
+            raise SourceError(f"schema file missing columns: {missing}")
+    else:
+        types = {name: _infer_type(i, rows) for i, name in enumerate(header)}
+    return infer_table(header, rows, types)
+
+
+def _normalize_names(header: list[str]) -> list[str]:
+    names: list[str] = []
+    for i, raw in enumerate(header):
+        name = raw.strip() or f"F{i + 1}"  # Tableau-style synthetic names
+        base = name
+        k = 2
+        while name in names:
+            name = f"{base}_{k}"
+            k += 1
+        names.append(name)
+    return names
+
+
+def infer_table(
+    header: list[str], rows: list[list[str]], types: Mapping[str, LogicalType] | None = None
+) -> Table:
+    """Materialize parsed CSV cells into typed columns."""
+    header = _normalize_names(header)
+    if types is None:
+        types = {name: _infer_type(i, rows) for i, name in enumerate(header)}
+    data: dict[str, list[Any]] = {}
+    for i, name in enumerate(header):
+        ltype = types[name]
+        column: list[Any] = []
+        for row in rows:
+            cell = row[i].strip() if i < len(row) else ""
+            column.append(None if cell == "" else _convert(cell, ltype, name))
+        data[name] = column
+    return Table.from_pydict(data, types=dict(types))
+
+
+def _infer_type(index: int, rows: list[list[str]]) -> LogicalType:
+    sample = [
+        row[index].strip()
+        for row in rows[:_INFERENCE_SAMPLE_ROWS]
+        if index < len(row) and row[index].strip() != ""
+    ]
+    if not sample:
+        return LogicalType.STR
+    for candidate, probe in (
+        (LogicalType.INT, _is_int),
+        (LogicalType.FLOAT, _is_float),
+        (LogicalType.BOOL, _is_bool),
+        (LogicalType.DATE, _is_date),
+        (LogicalType.DATETIME, _is_datetime),
+    ):
+        if all(probe(cell) for cell in sample):
+            return candidate
+    return LogicalType.STR
+
+
+def _is_int(cell: str) -> bool:
+    try:
+        int(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def _is_float(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def _is_bool(cell: str) -> bool:
+    return cell.lower() in _TRUE_WORDS | _FALSE_WORDS
+
+
+def _is_date(cell: str) -> bool:
+    try:
+        _dt.date.fromisoformat(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def _is_datetime(cell: str) -> bool:
+    try:
+        _dt.datetime.fromisoformat(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def _convert(cell: str, ltype: LogicalType, column: str) -> Any:
+    try:
+        if ltype is LogicalType.INT:
+            return int(cell)
+        if ltype is LogicalType.FLOAT:
+            return float(cell)
+        if ltype is LogicalType.BOOL:
+            return cell.lower() in _TRUE_WORDS
+        if ltype is LogicalType.DATE:
+            return _dt.date.fromisoformat(cell)
+        if ltype is LogicalType.DATETIME:
+            return _dt.datetime.fromisoformat(cell)
+        return cell
+    except ValueError as exc:
+        raise SourceError(f"column {column!r}: cannot parse {cell!r} as {ltype.name}") from exc

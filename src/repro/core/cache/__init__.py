@@ -1,0 +1,21 @@
+"""Query caches: intelligent (semantic), literal, distributed, persisted."""
+
+from .eviction import CacheEntry, EvictionPolicy
+from .intelligent import IntelligentCache, MatchResult, enrich_spec, match_specs
+from .literal import LiteralCache
+from .distributed import DistributedQueryCache, KeyValueStore
+from .persistence import load_intelligent_cache, save_intelligent_cache
+
+__all__ = [
+    "CacheEntry",
+    "EvictionPolicy",
+    "IntelligentCache",
+    "MatchResult",
+    "enrich_spec",
+    "match_specs",
+    "LiteralCache",
+    "KeyValueStore",
+    "DistributedQueryCache",
+    "save_intelligent_cache",
+    "load_intelligent_cache",
+]

@@ -1,0 +1,138 @@
+"""Distributed cache layer for the server environment (paper 3.2).
+
+"Tableau Server does not persist the caches but it utilizes a distributed
+layer based on REDIS or Cassandra depending on the configuration. This
+allows sharing data across nodes in the cluster and keeping data warm
+regardless of which node handles particular requests. For efficiency,
+recent entries are also stored in memory on the nodes processing
+particular queries."
+
+:class:`KeyValueStore` is the in-process Redis stand-in: a thread-safe
+byte store whose GET/PUT calls sleep for a modeled network round trip, so
+the L1-vs-L2 latency trade-off is physically measurable.
+:class:`DistributedQueryCache` gives each node a small in-memory L1 over
+the shared store; tables are serialized with the TDE single-file format.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+
+from ...tde.storage.filepack import pack_database, unpack_database
+from ...tde.storage.schema import Database
+from ...tde.storage.table import Table
+from .eviction import CacheEntry, EvictionPolicy
+
+
+class KeyValueStore:
+    """Redis-like shared store with modeled round-trip latency."""
+
+    def __init__(self, *, latency_s: float = 0.0008, per_mb_s: float = 0.004):
+        self.latency_s = latency_s
+        self.per_mb_s = per_mb_s
+        self._data: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self.gets = 0
+        self.puts = 0
+        self.hit_count = 0
+
+    def _round_trip(self, payload_bytes: int) -> None:
+        delay = self.latency_s + (payload_bytes / 1e6) * self.per_mb_s
+        if delay > 0:
+            time.sleep(delay)
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            payload = self._data.get(key)
+            self.gets += 1
+            if payload is not None:
+                self.hit_count += 1
+        self._round_trip(len(payload) if payload else 0)
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        self._round_trip(len(payload))
+        with self._lock:
+            self._data[key] = payload
+            self.puts += 1
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def flush(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._data.values())
+
+
+def serialize_table(table: Table) -> bytes:
+    """Encode a table with the TDE single-file format (no pickle)."""
+    db = Database("cache")
+    db.add_table("Extract.result", table)
+    buf = io.BytesIO()
+    pack_database(db, buf)
+    return buf.getvalue()
+
+
+def deserialize_table(payload: bytes) -> Table:
+    db = unpack_database(io.BytesIO(payload))  # type: ignore[arg-type]
+    return db.table("Extract.result")
+
+
+class DistributedQueryCache:
+    """A node-local L1 over a shared L2 store."""
+
+    def __init__(
+        self,
+        store: KeyValueStore,
+        node_id: str,
+        *,
+        l1_policy: EvictionPolicy | None = None,
+        use_l1: bool = True,
+    ):
+        self.store = store
+        self.node_id = node_id
+        self.use_l1 = use_l1
+        self.l1_policy = l1_policy or EvictionPolicy(max_entries=128)
+        self._l1: dict[str, CacheEntry] = {}
+        self._lock = threading.Lock()
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Table | None:
+        if self.use_l1:
+            with self._lock:
+                entry = self._l1.get(key)
+                if entry is not None:
+                    entry.touch()
+                    self.l1_hits += 1
+                    return entry.value
+        payload = self.store.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        table = deserialize_table(payload)
+        self.l2_hits += 1
+        if self.use_l1:
+            self._remember(key, table)
+        return table
+
+    def put(self, key: str, table: Table) -> None:
+        self.store.put(key, serialize_table(table))
+        if self.use_l1:
+            self._remember(key, table)
+
+    def _remember(self, key: str, table: Table) -> None:
+        with self._lock:
+            self._l1[key] = CacheEntry(key, "", table, table.nbytes)
+            self.l1_policy.purge(self._l1)

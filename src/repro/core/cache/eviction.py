@@ -1,0 +1,68 @@
+"""Cache entries and the eviction policy shared by both cache levels.
+
+"Cache entries in both the literal and intelligent cache are purged based
+upon a combination of entry age, usage, and the expense of re-evaluating
+the query. Entries are also purged when a connection to a data source is
+closed or refreshed." (paper 3.2)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class CacheEntry:
+    """One cached result with retention metadata."""
+
+    key: str
+    datasource: str
+    value: Any  # a Table (or payload bytes for the distributed layer)
+    size_bytes: int
+    cost_s: float = 0.0  # expense of re-evaluating the query
+    created_at: float = field(default_factory=time.monotonic)
+    last_used: float = field(default_factory=time.monotonic)
+    uses: int = 0
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+        self.uses += 1
+
+    def retention_score(self, now: float | None = None) -> float:
+        """Higher = keep longer. Combines age, usage, and re-eval cost."""
+        now = time.monotonic() if now is None else now
+        age = max(now - self.last_used, 0.0)
+        return (self.cost_s + 1e-3) * (1.0 + self.uses) / (1.0 + age)
+
+
+@dataclass
+class EvictionPolicy:
+    """Capacity limits and the purge procedure."""
+
+    max_entries: int = 512
+    max_bytes: int = 256 * 1024 * 1024
+    max_age_s: float = float("inf")
+
+    def purge(self, entries: dict[str, CacheEntry]) -> list[str]:
+        """Remove entries until within capacity; return evicted keys."""
+        now = time.monotonic()
+        evicted = [
+            key
+            for key, e in entries.items()
+            if now - e.created_at > self.max_age_s
+        ]
+        for key in evicted:
+            del entries[key]
+        total = sum(e.size_bytes for e in entries.values())
+        if len(entries) <= self.max_entries and total <= self.max_bytes:
+            return evicted
+        ranked = sorted(entries.values(), key=lambda e: e.retention_score(now))
+        for entry in ranked:
+            if len(entries) <= self.max_entries and total <= self.max_bytes:
+                break
+            del entries[entry.key]
+            total -= entry.size_bytes
+            evicted.append(entry.key)
+        return evicted

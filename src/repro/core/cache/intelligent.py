@@ -1,0 +1,427 @@
+"""The intelligent (semantic) query cache (paper 3.2).
+
+"The intelligent cache maps the internal query structure to a key that is
+associated with the query results. When a new query is to be executed, a
+cache key is generated and the intelligent cache is searched for a match.
+When looking for matches, we attempt to prove that results of the stored
+query subsume the requested data. ... The latter [post-processing]
+includes roll-up, filtering, calculation projection, and column
+restriction."
+
+The subsumption proof (:func:`match_specs`) is deliberately conservative:
+it returns a post-processing plan only when the derivation is sound, and
+``None`` otherwise. The property tests compare cache-served answers with
+direct evaluation over every accepted match.
+
+``choose_best=True`` enables the future-work behaviour the paper sketches
+("we plan to choose the entry that requires the least post-processing");
+the default takes the first match, as shipped in Tableau 9.0.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ...errors import CacheError
+from ...expr.ast import AggExpr, Call, ColumnRef, Expr, Literal, conjoin
+from ...queries.postops import (
+    LocalAggregate,
+    LocalFilter,
+    LocalProject,
+    LocalSort,
+    LocalTopN,
+    PostOp,
+    apply_post_ops,
+)
+from ...queries.spec import CategoricalFilter, QuerySpec, RangeFilter, TopNFilter
+from ...tde.storage.table import Table
+from .eviction import CacheEntry, EvictionPolicy
+
+
+@dataclass
+class MatchResult:
+    """A successful subsumption proof: how to derive request from entry."""
+
+    post_ops: tuple[PostOp, ...]
+
+    @property
+    def work(self) -> int:
+        """Crude post-processing effort rank (for choose_best)."""
+        return len(self.post_ops)
+
+
+# ---------------------------------------------------------------------- #
+# Subsumption proof between two specs
+# ---------------------------------------------------------------------- #
+def match_specs(provider: QuerySpec, request: QuerySpec) -> MatchResult | None:
+    """Prove that ``provider``'s result can answer ``request`` locally.
+
+    Returns the post-op chain (roll-up, filtering, projection, ordering)
+    or ``None`` when no sound derivation exists.
+    """
+    if provider.datasource != request.datasource:
+        return None
+    if provider.canonical() == request.canonical():
+        return MatchResult(())
+    # A truncated provider result (LIMIT) cannot answer anything else.
+    if provider.limit is not None:
+        return None
+    # Top-n filters are not relaxable: they must agree exactly.
+    if _topn_signature(provider) != _topn_signature(request):
+        return None
+    if not set(request.dimensions) <= set(provider.dimensions):
+        return None
+    extra_predicates = _filter_difference(provider, request)
+    if extra_predicates is None:
+        return None
+    if extra_predicates and _topn_signature(provider):
+        # A top-n filter's surviving set depends on the other filters:
+        # narrowing them would demand re-ranking, which post-processing
+        # cannot do soundly from the truncated provider result.
+        return None
+    for pred_field in _fields_of(extra_predicates):
+        if pred_field not in provider.dimensions:
+            return None  # can only post-filter on grouped columns
+    rollup = tuple(request.dimensions) != tuple(provider.dimensions)
+    measure_ops = _derive_measures(provider, request, rollup=rollup)
+    if measure_ops is None:
+        return None
+    post_ops: list[PostOp] = []
+    if extra_predicates:
+        post_ops.append(LocalFilter(conjoin(extra_predicates)))
+    post_ops.extend(measure_ops)
+    if request.order_by and request.limit is not None:
+        post_ops.append(LocalTopN(request.limit, request.order_by))
+    elif request.order_by:
+        post_ops.append(LocalSort(request.order_by))
+    elif request.limit is not None:
+        post_ops.append(LocalTopN(request.limit, tuple()))
+    return MatchResult(tuple(post_ops))
+
+
+def _topn_signature(spec: QuerySpec) -> frozenset[str]:
+    return frozenset(f.canonical() for f in spec.filters if isinstance(f, TopNFilter))
+
+
+def _fields_of(predicates: list[Expr]) -> set[str]:
+    from ...expr.ast import columns_used
+
+    out: set[str] = set()
+    for pred in predicates:
+        out |= columns_used(pred)
+    return out
+
+
+def _filter_difference(provider: QuerySpec, request: QuerySpec) -> list[Expr] | None:
+    """Predicates to apply on top of the provider's result, or None.
+
+    Soundness requires: request rows ⊆ provider rows, i.e. every provider
+    filter is implied by some request filter on the same field; request
+    filters that are strictly stronger (or on unfiltered fields) become
+    local predicates.
+    """
+    provider_simple = {
+        f.field: f for f in provider.filters if not isinstance(f, TopNFilter)
+    }
+    request_simple = {f.field: f for f in request.filters if not isinstance(f, TopNFilter)}
+    if len(provider_simple) != sum(
+        1 for f in provider.filters if not isinstance(f, TopNFilter)
+    ) or len(request_simple) != sum(
+        1 for f in request.filters if not isinstance(f, TopNFilter)
+    ):
+        return None  # multiple filters on one field: out of scope, be safe
+    extra: list[Expr] = []
+    for field_name, pf in provider_simple.items():
+        rf = request_simple.get(field_name)
+        if rf is None or not _implies(rf, pf):
+            return None
+        if not _implies(pf, rf):
+            extra.append(rf.predicate())
+    for field_name, rf in request_simple.items():
+        if field_name not in provider_simple:
+            extra.append(rf.predicate())
+    return extra
+
+
+def _implies(stronger, weaker) -> bool:
+    """Whether satisfying ``stronger`` implies satisfying ``weaker``."""
+    if type(stronger) is not type(weaker) or stronger.field != weaker.field:
+        return False
+    if isinstance(stronger, CategoricalFilter):
+        if stronger.exclude != weaker.exclude:
+            return False
+        if stronger.exclude:
+            return set(weaker.values) <= set(stronger.values)
+        return set(stronger.values) <= set(weaker.values)
+    if isinstance(stronger, RangeFilter):
+        low_ok = weaker.low is None or (
+            stronger.low is not None and stronger.low >= weaker.low
+        )
+        high_ok = weaker.high is None or (
+            stronger.high is not None and stronger.high <= weaker.high
+        )
+        return low_ok and high_ok
+    return False
+
+
+def _derive_measures(
+    provider: QuerySpec, request: QuerySpec, *, rollup: bool
+) -> list[PostOp] | None:
+    """Build the roll-up / projection ops for the requested measures."""
+    by_expr = {agg: alias for alias, agg in provider.measures}
+
+    def find(agg: AggExpr) -> str | None:
+        return by_expr.get(agg)
+
+    if not rollup:
+        items = [(d, ColumnRef(d)) for d in request.dimensions]
+        for alias, agg in request.measures:
+            src = find(agg)
+            if src is None:
+                return None
+            items.append((alias, ColumnRef(src)))
+        return [LocalProject(tuple(items))]
+    rollup_measures: list[tuple[str, AggExpr]] = []
+    final_items: list[tuple[str, Expr]] = [(d, ColumnRef(d)) for d in request.dimensions]
+    needs_final = False
+    for alias, agg in request.measures:
+        if agg.func == "count_distinct":
+            return None  # not additive across groups
+        if agg.func in ("sum", "min", "max"):
+            src = find(agg)
+            if src is None:
+                return None
+            rollup_measures.append((alias, AggExpr(agg.func, ColumnRef(src))))
+            final_items.append((alias, ColumnRef(alias)))
+        elif agg.func == "count":
+            src = find(agg)
+            if src is None:
+                return None
+            rollup_measures.append((alias, AggExpr("sum", ColumnRef(src))))
+            # SUM over zero provider rows is NULL, but COUNT over zero
+            # rows must be 0 — coalesce in the final projection.
+            final_items.append(
+                (alias, Call("ifnull", (ColumnRef(alias), Literal(0))))
+            )
+            needs_final = True
+        elif agg.func == "avg":
+            sum_src = find(AggExpr("sum", agg.arg))
+            cnt_src = find(AggExpr("count", agg.arg))
+            if sum_src is None or cnt_src is None:
+                return None  # avg is not additive without its components
+            s_alias = f"__s_{alias}"
+            c_alias = f"__c_{alias}"
+            rollup_measures.append((s_alias, AggExpr("sum", ColumnRef(sum_src))))
+            rollup_measures.append((c_alias, AggExpr("sum", ColumnRef(cnt_src))))
+            final_items.append((alias, Call("/", (ColumnRef(s_alias), ColumnRef(c_alias)))))
+            needs_final = True
+        else:  # pragma: no cover - defensive
+            return None
+    ops: list[PostOp] = [LocalAggregate(request.dimensions, tuple(rollup_measures))]
+    if needs_final or len(final_items) != len(request.dimensions) + len(rollup_measures):
+        ops.append(LocalProject(tuple(final_items)))
+    return ops
+
+
+# ---------------------------------------------------------------------- #
+# Spec enrichment for reuse
+# ---------------------------------------------------------------------- #
+def enrich_spec(spec: QuerySpec, *, reuse_fields: frozenset[str] = frozenset()) -> QuerySpec:
+    """Adjust a spec before sending "to make the results more useful for
+    future reuse" (paper 3.2).
+
+    * filter fields join the dimension list, so later interactions that
+      change the selection can be answered by local filtering ("the
+      intelligent cache will be able to filter out the necessary rows ...
+      as long as the filtering columns are included");
+    * ``reuse_fields`` — fields the caller expects future filters on
+      (e.g. a dashboard's action fields) — join the dimensions too;
+    * AVG measures are accompanied by their SUM/COUNT components so the
+      result can be rolled up later;
+    * ORDER BY / LIMIT are dropped from the remote query (re-applied
+      locally) so the cached result is not truncated.
+    """
+    dims = list(spec.dimensions)
+    # COUNT DISTINCT cannot be rolled up, so widening the grain would make
+    # the enriched result useless for the original request; keep the grain.
+    widenable = all(agg.func != "count_distinct" for _a, agg in spec.measures)
+    if widenable:
+        for f in spec.filters:
+            if isinstance(f, TopNFilter):
+                continue
+            if f.field not in dims:
+                dims.append(f.field)
+        for field_name in sorted(reuse_fields):
+            if field_name not in dims:
+                dims.append(field_name)
+    measures = list(spec.measures)
+    present = {agg for _a, agg in measures}
+    for _alias, agg in list(spec.measures):
+        if agg.func == "avg":
+            for extra in (AggExpr("sum", agg.arg), AggExpr("count", agg.arg)):
+                if extra not in present:
+                    measures.append((f"__reuse{len(measures)}", extra))
+                    present.add(extra)
+    return QuerySpec(spec.datasource, tuple(dims), tuple(measures), spec.filters)
+
+
+# ---------------------------------------------------------------------- #
+# The cache proper
+# ---------------------------------------------------------------------- #
+class IntelligentCacheStats:
+    def __init__(self) -> None:
+        self.exact_hits = 0
+        self.subsumption_hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    @property
+    def hits(self) -> int:
+        return self.exact_hits + self.subsumption_hits
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "exact_hits": self.exact_hits,
+            "subsumption_hits": self.subsumption_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
+
+
+class IntelligentCache:
+    """Semantic result cache with subsumption matching.
+
+    ``choose_best`` and ``use_index`` are the two future-work behaviours
+    paper 3.2 sketches; both default off to match the shipped Tableau 9.0
+    behaviour ("currently we accept the first match", "we are planning to
+    maintain an index"). Experiment E17 ablates them.
+    """
+
+    def __init__(
+        self,
+        policy: EvictionPolicy | None = None,
+        *,
+        choose_best: bool = False,
+        use_index: bool = False,
+    ):
+        from .index import CacheIndex
+
+        self.policy = policy or EvictionPolicy()
+        self.choose_best = choose_best
+        self.use_index = use_index
+        self.index = CacheIndex() if use_index else None
+        self.stats = IntelligentCacheStats()
+        self._entries: dict[str, CacheEntry] = {}
+        self._specs: dict[str, QuerySpec] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    def put(self, spec: QuerySpec, result: Table, *, cost_s: float = 0.0) -> None:
+        key = spec.canonical()
+        with self._lock:
+            self._entries[key] = CacheEntry(
+                key, spec.datasource, result, result.nbytes, cost_s
+            )
+            self._specs[key] = spec
+            if self.index is not None:
+                self.index.add(key, spec)
+            for evicted in self.policy.purge(self._entries):
+                self._specs.pop(evicted, None)
+                if self.index is not None:
+                    self.index.remove(evicted)
+                self.stats.evictions += 1
+            self.stats.puts += 1
+
+    def _candidate_keys(self, spec: QuerySpec) -> list[str]:
+        if self.index is not None:
+            return self.index.candidates(spec)
+        return [
+            k for k, e in self._entries.items() if e.datasource == spec.datasource
+        ]
+
+    def lookup(self, spec: QuerySpec) -> Table | None:
+        """Serve ``spec`` from cache, post-processing as needed."""
+        key = spec.canonical()
+        with self._lock:
+            exact = self._entries.get(key)
+            if exact is not None:
+                exact.touch()
+                self.stats.exact_hits += 1
+                return exact.value
+            best: tuple[MatchResult, CacheEntry] | None = None
+            for entry_key in self._candidate_keys(spec):
+                entry = self._entries.get(entry_key)
+                if entry is None:
+                    continue
+                match = match_specs(self._specs[entry_key], spec)
+                if match is None:
+                    continue
+                if not self.choose_best:
+                    best = (match, entry)
+                    break
+                if best is None or self._work(match, entry) < self._work(*best):
+                    best = (match, entry)
+            if best is None:
+                self.stats.misses += 1
+                return None
+            match, entry = best
+            entry.touch()
+            self.stats.subsumption_hits += 1
+            table = entry.value
+        return apply_post_ops(table, match.post_ops)
+
+    @staticmethod
+    def _work(match: MatchResult, entry: CacheEntry) -> tuple[int, int]:
+        """Post-processing effort: rows to chew through, then op count.
+
+        This is the "entry that requires the least post-processing" metric
+        of the paper's future-work note — a narrower cached result beats a
+        wider one even when both need the same operator chain.
+        """
+        rows = entry.value.n_rows if match.post_ops else 0
+        return (rows, len(match.post_ops))
+
+    def probe(self, spec: QuerySpec) -> bool:
+        """Would lookup succeed? (No stats side effects on the answer.)"""
+        key = spec.canonical()
+        with self._lock:
+            if key in self._entries:
+                return True
+            return any(
+                entry.datasource == spec.datasource
+                and match_specs(self._specs[k], spec) is not None
+                for k, entry in self._entries.items()
+            )
+
+    # ------------------------------------------------------------------ #
+    def invalidate(self, datasource: str | None = None) -> int:
+        """Purge entries (all, or one data source's on refresh/close)."""
+        with self._lock:
+            if datasource is None:
+                n = len(self._entries)
+                self._entries.clear()
+                self._specs.clear()
+                if self.index is not None:
+                    self.index.clear()
+                return n
+            doomed = [k for k, e in self._entries.items() if e.datasource == datasource]
+            for k in doomed:
+                del self._entries[k]
+                del self._specs[k]
+                if self.index is not None:
+                    self.index.remove(k)
+            return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[tuple[QuerySpec, Table]]:
+        with self._lock:
+            return [(self._specs[k], e.value) for k, e in self._entries.items()]
+
+    def size_bytes(self) -> int:
+        with self._lock:
+            return sum(e.size_bytes for e in self._entries.values())

@@ -1,0 +1,67 @@
+"""The literal query cache (paper 3.2).
+
+"The literal query cache contains low-level queries that are not directly
+related to visualization generation; it is keyed on the query text. It is
+used to match internal queries that end up having the same textual
+representation but where a match could not be proven upfront without
+performing complete query compilation."
+
+Keys come from :attr:`CompiledQuery.literal_key`, which folds in the
+contents of any referenced temporary tables so that textually identical
+queries over different temp state never collide.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ...tde.storage.table import Table
+from .eviction import CacheEntry, EvictionPolicy
+
+
+class LiteralCacheStats:
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+
+class LiteralCache:
+    """Text-keyed result cache."""
+
+    def __init__(self, policy: EvictionPolicy | None = None):
+        self.policy = policy or EvictionPolicy()
+        self.stats = LiteralCacheStats()
+        self._entries: dict[str, CacheEntry] = {}
+        self._lock = threading.RLock()
+
+    def get(self, key: str) -> Table | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            entry.touch()
+            self.stats.hits += 1
+            return entry.value
+
+    def put(self, key: str, datasource: str, result: Table, *, cost_s: float = 0.0) -> None:
+        with self._lock:
+            self._entries[key] = CacheEntry(key, datasource, result, result.nbytes, cost_s)
+            self.stats.puts += 1
+            self.stats.evictions += len(self.policy.purge(self._entries))
+
+    def invalidate(self, datasource: str | None = None) -> int:
+        with self._lock:
+            if datasource is None:
+                n = len(self._entries)
+                self._entries.clear()
+                return n
+            doomed = [k for k, e in self._entries.items() if e.datasource == datasource]
+            for k in doomed:
+                del self._entries[k]
+            return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,81 @@
+"""Concurrent execution of compiled queries over pooled connections
+(paper 3.5).
+
+"Remote queries are submitted for execution concurrently" — each query
+checks out a connection from the pool (preferring one that already holds
+its temporary structures), creates missing temp tables, runs the text,
+and applies its local post-ops. A serial mode exists for the experiments
+that compare the two strategies.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..connectors.pool import ConnectionPool
+from ..queries.compile import CompiledQuery
+from ..queries.postops import apply_post_ops
+from ..tde.storage.table import Table
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of one remote query plus accounting."""
+
+    table: Table
+    elapsed_s: float
+    from_literal_cache: bool = False
+
+
+class ConcurrentQueryExecutor:
+    """Runs batches of compiled queries against one data source pool."""
+
+    def __init__(
+        self,
+        pool: ConnectionPool,
+        *,
+        max_workers: int = 8,
+        literal_cache=None,
+    ):
+        self.pool = pool
+        self.max_workers = max_workers
+        self.literal_cache = literal_cache
+        self.remote_queries_sent = 0
+
+    # ------------------------------------------------------------------ #
+    def run_one(self, compiled: CompiledQuery) -> ExecutionOutcome:
+        """Execute one compiled query (literal cache → pool → post-ops)."""
+        started = time.monotonic()
+        if self.literal_cache is not None:
+            cached = self.literal_cache.get(compiled.literal_key)
+            if cached is not None:
+                result = apply_post_ops(cached, compiled.post_ops)
+                return ExecutionOutcome(result, time.monotonic() - started, True)
+        prefer = next(iter(compiled.temp_tables), None)
+        with self.pool.connection(prefer_temp_table=prefer) as conn:
+            for name, table in compiled.temp_tables.items():
+                if not conn.has_temp_table(name):
+                    conn.create_temp_table(name, table)
+            raw = conn.execute(compiled.text)
+        self.remote_queries_sent += 1
+        elapsed = time.monotonic() - started
+        if self.literal_cache is not None:
+            self.literal_cache.put(
+                compiled.literal_key, compiled.datasource, raw, cost_s=elapsed
+            )
+        result = apply_post_ops(raw, compiled.post_ops)
+        return ExecutionOutcome(result, time.monotonic() - started)
+
+    def run_batch(
+        self, compiled: list[CompiledQuery], *, concurrent: bool = True
+    ) -> list[ExecutionOutcome]:
+        """Execute a batch, concurrently by default (paper 3.3 phase two)."""
+        if not compiled:
+            return []
+        if not concurrent or len(compiled) == 1:
+            return [self.run_one(c) for c in compiled]
+        workers = min(self.max_workers, len(compiled))
+        with ThreadPoolExecutor(max_workers=workers) as tp:
+            return list(tp.map(self.run_one, compiled))

@@ -1,0 +1,219 @@
+"""The end-to-end query batch pipeline (paper sections 3.2–3.5 combined).
+
+For each batch of query specs:
+
+1. **Intelligent cache probe** — specs answerable from the semantic cache
+   are served locally.
+2. **Batch graph** — remaining specs form the cache-hit opportunity graph;
+   source nodes go remote, derivable nodes wait locally (3.3, Fig. 3).
+3. **Query fusion** — remote specs over the same relation merge their
+   projection lists (3.4).
+4. **Concurrent execution** — fused queries run concurrently over pooled
+   connections, consulting the literal cache, creating temporary tables
+   for externalized filters (3.5, 3.1).
+5. **Reuse** — results are (optionally enriched and) inserted into the
+   intelligent cache; local nodes are then answered from it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..connectors.pool import ConnectionPool
+from ..queries.compile import compile_spec
+from ..queries.model import DataSourceModel
+from ..queries.postops import apply_post_ops
+from ..queries.spec import QuerySpec
+from ..tde.storage.table import Table
+from .batch import build_batch_graph
+from .cache.intelligent import IntelligentCache, enrich_spec, match_specs
+from .cache.literal import LiteralCache
+from .executor import ConcurrentQueryExecutor
+from .fusion import fuse_batch
+
+
+@dataclass
+class PipelineOptions:
+    """Feature toggles — each maps to one of the paper's optimizations,
+    so the benchmarks can ablate them independently."""
+
+    enable_intelligent_cache: bool = True
+    enable_literal_cache: bool = True
+    enable_fusion: bool = True
+    enable_batch_graph: bool = True
+    concurrent: bool = True
+    enrich_for_reuse: bool = True
+    choose_best_match: bool = False
+    max_workers: int = 8
+    max_connections: int = 8
+    externalize_threshold: int | None = None
+
+
+@dataclass
+class BatchResult:
+    """Answers plus accounting for one processed batch."""
+
+    tables: dict[str, Table]  # spec canonical -> result
+    remote_queries: int = 0
+    cache_hits: int = 0
+    batch_local: int = 0
+    fused_away: int = 0
+    literal_hits: int = 0
+    elapsed_s: float = 0.0
+
+    def table_for(self, spec: QuerySpec) -> Table:
+        return self.tables[spec.canonical()]
+
+
+class QueryPipeline:
+    """Processes query batches for one data source + model."""
+
+    def __init__(
+        self,
+        source,
+        model: DataSourceModel,
+        *,
+        options: PipelineOptions | None = None,
+        pool: ConnectionPool | None = None,
+        intelligent_cache: IntelligentCache | None = None,
+        literal_cache: LiteralCache | None = None,
+    ):
+        self.source = source
+        self.model = model
+        self.options = options or PipelineOptions()
+        self.pool = pool or ConnectionPool(
+            source, max_connections=self.options.max_connections
+        )
+        self.intelligent_cache = intelligent_cache or IntelligentCache(
+            choose_best=self.options.choose_best_match
+        )
+        self.literal_cache = literal_cache or LiteralCache()
+        self.executor = ConcurrentQueryExecutor(
+            self.pool,
+            max_workers=self.options.max_workers,
+            literal_cache=self.literal_cache if self.options.enable_literal_cache else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_spec(self, spec: QuerySpec) -> Table:
+        """Convenience wrapper: a batch of one."""
+        return self.run_batch([spec]).table_for(spec)
+
+    def run_batch(
+        self, specs: list[QuerySpec], *, reuse_fields: frozenset[str] = frozenset()
+    ) -> BatchResult:
+        started = time.monotonic()
+        result = BatchResult({})
+        ordered: list[QuerySpec] = []
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.canonical() not in seen:
+                seen.add(spec.canonical())
+                ordered.append(spec)
+        # Phase 0: serve from the intelligent cache.
+        pending: list[QuerySpec] = []
+        for spec in ordered:
+            if self.options.enable_intelligent_cache:
+                cached = self.intelligent_cache.lookup(spec)
+                if cached is not None:
+                    result.tables[spec.canonical()] = cached
+                    result.cache_hits += 1
+                    continue
+            pending.append(spec)
+        if pending:
+            self._run_pending(pending, result, reuse_fields)
+        result.elapsed_s = time.monotonic() - started
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _run_pending(
+        self,
+        pending: list[QuerySpec],
+        result: BatchResult,
+        reuse_fields: frozenset[str] = frozenset(),
+    ) -> None:
+        # Phase 1: batch analysis — partition into remote and local.
+        if self.options.enable_batch_graph and len(pending) > 1:
+            graph = build_batch_graph(pending)
+            remote_specs = [pending[i] for i in graph.remote]
+            local_nodes = [(j, graph.provider_of[j]) for j in graph.local]
+        else:
+            graph = None
+            remote_specs = list(pending)
+            local_nodes = []
+        # Phase 2: fuse the remote set.
+        fused = fuse_batch(remote_specs, enabled=self.options.enable_fusion)
+        result.fused_away += len(remote_specs) - len(fused)
+        # Phase 3: compile and execute concurrently.
+        to_send = []
+        for fq in fused:
+            send_spec = (
+                enrich_spec(fq.spec, reuse_fields=reuse_fields)
+                if self.options.enrich_for_reuse
+                else fq.spec
+            )
+            compiled = compile_spec(
+                send_spec,
+                self.model,
+                self.source,
+                externalize_threshold=self.options.externalize_threshold,
+            )
+            to_send.append((fq, send_spec, compiled))
+        outcomes = self.executor.run_batch(
+            [c for _fq, _s, c in to_send], concurrent=self.options.concurrent
+        )
+        # Phase 4: populate caches and split fused results.
+        for (fq, send_spec, _compiled), outcome in zip(to_send, outcomes):
+            result.remote_queries += 0 if outcome.from_literal_cache else 1
+            result.literal_hits += 1 if outcome.from_literal_cache else 0
+            if self.options.enable_intelligent_cache:
+                self.intelligent_cache.put(
+                    send_spec, outcome.table, cost_s=outcome.elapsed_s
+                )
+            for member in fq.members:
+                key = member.canonical()
+                answer = None
+                if self.options.enable_intelligent_cache:
+                    answer = self.intelligent_cache.lookup(member)
+                if answer is None:
+                    # Derive directly from the fetched (possibly enriched)
+                    # result: enrichment only widens, so a match must exist.
+                    match = match_specs(send_spec, member)
+                    if match is not None:
+                        answer = apply_post_ops(outcome.table, match.post_ops)
+                    else:
+                        answer = apply_post_ops(
+                            outcome.table, fq.extract_ops[key]
+                        )
+                result.tables[key] = answer
+        # Phase 5: answer the local (derivable) nodes.
+        for j, provider_idx in local_nodes:
+            spec = pending[j]
+            key = spec.canonical()
+            if key in result.tables:
+                continue
+            answer = None
+            if self.options.enable_intelligent_cache:
+                answer = self.intelligent_cache.lookup(spec)
+            if answer is None:
+                provider = pending[provider_idx]
+                provider_table = result.tables[provider.canonical()]
+                match = match_specs(provider, spec)
+                assert match is not None  # the graph edge proved this
+                answer = apply_post_ops(provider_table, match.post_ops)
+            result.tables[key] = answer
+            result.batch_local += 1
+
+    # ------------------------------------------------------------------ #
+    def invalidate(self) -> None:
+        """Purge caches for this source (connection close/refresh, 3.2).
+
+        Intelligent-cache entries are keyed by the *model* name (the view
+        specs are written against); literal entries by the backend name.
+        """
+        self.intelligent_cache.invalidate(self.model.name)
+        self.literal_cache.invalidate(self.source.name)
+
+    def close(self) -> None:
+        self.pool.close()

@@ -1,0 +1,129 @@
+"""Speculative prefetching of likely next interactions (paper §7).
+
+"both data exploration and dashboard generation could become more
+responsive if requested data has been accurately predicted and prefetched.
+Materialization of secondary structures and prediction approaches such as
+DICE [46], are good examples in this field."
+
+The predictor is deliberately simple (DICE-like locality over the
+interaction space): after a user selects marks in a zone, the most likely
+next interactions are selections of the *other* prominent values in that
+same zone. The prefetcher compiles the target zones' hypothetical specs
+for those candidate selections and warms the pipeline's intelligent cache
+— in a background thread, so the interactive path never waits on it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..queries.spec import CategoricalFilter, QuerySpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..dashboard.render import DashboardSession
+
+
+@dataclass
+class PrefetchStats:
+    interactions_observed: int = 0
+    predictions: int = 0
+    specs_prefetched: int = 0
+    batches: int = 0
+
+
+class InteractionPrefetcher:
+    """Warms caches with the predicted next interactions of a session."""
+
+    def __init__(
+        self,
+        *,
+        max_candidates: int = 3,
+        background: bool = True,
+    ):
+        self.max_candidates = max_candidates
+        self.background = background
+        self.stats = PrefetchStats()
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------ #
+    def observe(self, session: "DashboardSession", zone_name: str, selected) -> int:
+        """Called after a selection; returns the number of predicted specs.
+
+        Prefetching goes through the same pipeline (and therefore the same
+        intelligent cache) that will serve the real interaction, so an
+        accurate prediction turns the next click into a pure cache hit.
+        """
+        self.stats.interactions_observed += 1
+        specs = self.predict(session, zone_name, tuple(selected))
+        self.stats.predictions += len(specs)
+        if not specs:
+            return 0
+        if self.background:
+            thread = threading.Thread(
+                target=self._warm, args=(session, specs), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        else:
+            self._warm(session, specs)
+        return len(specs)
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until outstanding background prefetches complete."""
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+
+    # ------------------------------------------------------------------ #
+    def predict(
+        self, session: "DashboardSession", zone_name: str, selected: tuple[Any, ...]
+    ) -> list[QuerySpec]:
+        """Hypothetical target-zone specs for the likeliest next clicks."""
+        dashboard = session.dashboard
+        zone = dashboard.zones.get(zone_name)
+        actions = dashboard.actions_from(zone_name)
+        table = session.zone_tables.get(zone_name)
+        if zone is None or not actions or table is None:
+            return []
+        field_name = actions[0].field
+        if field_name not in table.column_names:
+            return []
+        domain = [
+            v
+            for v in table.column(field_name).python_values()
+            if v is not None and v not in selected
+        ]
+        candidates = domain[: self.max_candidates]  # zones render ranked
+        specs: list[QuerySpec] = []
+        for value in candidates:
+            hypothetical = dict(session.selections)
+            hypothetical[zone_name] = (value,)
+            for action in actions:
+                for target_name in action.targets:
+                    target = dashboard.zones[target_name]
+                    if not target.has_query:
+                        continue
+                    extra = []
+                    for onto in dashboard.actions_onto(target_name):
+                        chosen = hypothetical.get(onto.source)
+                        if chosen:
+                            extra.append(CategoricalFilter(onto.field, chosen))
+                    specs.append(target.spec(dashboard.datasource, tuple(extra)))
+        # Dedupe while keeping prediction order.
+        seen: set[str] = set()
+        unique: list[QuerySpec] = []
+        for s in specs:
+            if s.canonical() not in seen:
+                seen.add(s.canonical())
+                unique.append(s)
+        return unique
+
+    def _warm(self, session: "DashboardSession", specs: list[QuerySpec]) -> None:
+        reuse = frozenset(
+            action.field for action in session.dashboard.actions
+        )
+        result = session.pipeline.run_batch(specs, reuse_fields=reuse)
+        self.stats.specs_prefetched += len(result.tables)
+        self.stats.batches += 1

@@ -1,0 +1,12 @@
+"""Dashboards: zones, interactive filter actions, iterative rendering.
+
+"A dashboard is a collection of zones organized according to a certain
+layout. ... One defines the behavior of individual zones first and then
+specifies dependencies between them." (paper 3) Rendering may take several
+iterations because actions cascade (3.3, Figure 2).
+"""
+
+from .model import Dashboard, FilterAction, Zone
+from .render import DashboardSession, RenderResult
+
+__all__ = ["Dashboard", "Zone", "FilterAction", "DashboardSession", "RenderResult"]

@@ -1,0 +1,145 @@
+"""Iterative dashboard rendering (paper 3.3).
+
+"Due to dependencies between zones, rendering of a dashboard might require
+several iterations to complete." Each iteration collects the zones whose
+effective filters changed, forms their query batch, runs it through the
+pipeline, then *validates selections*: a selected mark that vanished from
+its source zone's new result is dropped, which may trigger another
+iteration — exactly the HNL-OGG example of Figure 2, where selecting a
+new market eliminates the stale AA carrier selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.pipeline import BatchResult, QueryPipeline
+from ..errors import WorkloadError
+from ..queries.spec import CategoricalFilter, Filter, QuerySpec
+from ..tde.storage.table import Table
+from .model import Dashboard, Zone
+
+MAX_ITERATIONS = 10
+
+
+@dataclass
+class RenderResult:
+    """Outcome of rendering one dashboard state."""
+
+    zone_tables: dict[str, Table]
+    iterations: int
+    batches: list[BatchResult]
+    dropped_selections: list[tuple[str, Any]] = field(default_factory=list)
+
+    @property
+    def remote_queries(self) -> int:
+        return sum(b.remote_queries for b in self.batches)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(len(b.tables) for b in self.batches)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(b.cache_hits for b in self.batches)
+
+    @property
+    def elapsed_s(self) -> float:
+        return sum(b.elapsed_s for b in self.batches)
+
+
+class DashboardSession:
+    """One user's stateful session with a dashboard."""
+
+    def __init__(self, dashboard: Dashboard, pipeline: QueryPipeline):
+        self.dashboard = dashboard
+        self.pipeline = pipeline
+        self.selections: dict[str, tuple[Any, ...]] = {}
+        self.zone_tables: dict[str, Table] = {}
+        self._rendered_specs: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Interactions
+    # ------------------------------------------------------------------ #
+    def select(self, zone_name: str, values) -> RenderResult:
+        """Select marks in a zone (drives its outgoing filter actions)."""
+        if zone_name not in self.dashboard.zones:
+            raise WorkloadError(f"no zone {zone_name!r}")
+        if not self.dashboard.actions_from(zone_name):
+            raise WorkloadError(f"zone {zone_name!r} has no outgoing actions")
+        self.selections[zone_name] = tuple(values)
+        return self.render()
+
+    def clear_selection(self, zone_name: str) -> RenderResult:
+        self.selections.pop(zone_name, None)
+        return self.render()
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def effective_spec(self, zone: Zone) -> QuerySpec:
+        """The zone's query under the current selection state."""
+        extra: list[Filter] = []
+        for action in self.dashboard.actions_onto(zone.name):
+            selected = self.selections.get(action.source)
+            if selected:
+                extra.append(CategoricalFilter(action.field, selected))
+        return zone.spec(self.dashboard.datasource, tuple(extra))
+
+    def render(self) -> RenderResult:
+        batches: list[BatchResult] = []
+        dropped: list[tuple[str, Any]] = []
+        for iteration in range(1, MAX_ITERATIONS + 1):
+            batch_specs: list[tuple[str, QuerySpec]] = []
+            for zone in self.dashboard.queryable_zones():
+                spec = self.effective_spec(zone)
+                if self._rendered_specs.get(zone.name) != spec.canonical():
+                    batch_specs.append((zone.name, spec))
+            if not batch_specs:
+                return RenderResult(dict(self.zone_tables), iteration - 1, batches, dropped)
+            # Hint the pipeline about fields future interactions will
+            # filter on, so cached results include them as dimensions
+            # ("as long as the filtering columns are included", 3.2).
+            reuse = frozenset(
+                action.field
+                for zone_name, _s in batch_specs
+                for action in self.dashboard.actions_onto(zone_name)
+            )
+            result = self.pipeline.run_batch(
+                [s for _n, s in batch_specs], reuse_fields=reuse
+            )
+            batches.append(result)
+            for zone_name, spec in batch_specs:
+                self.zone_tables[zone_name] = result.table_for(spec)
+                self._rendered_specs[zone_name] = spec.canonical()
+            dropped.extend(self._validate_selections())
+        raise WorkloadError("dashboard did not stabilize (action cycle?)")
+
+    def _validate_selections(self) -> list[tuple[str, Any]]:
+        """Drop selections whose marks vanished from their source zone.
+
+        Side effect of cascading filters (paper Fig. 2): "One side-effect
+        of these updated results is that the previous user-selection (AA)
+        in the Carrier zone is eliminated, as AA is not a carrier for the
+        HNL-OGG market."
+        """
+        dropped: list[tuple[str, Any]] = []
+        for zone_name, selected in list(self.selections.items()):
+            table = self.zone_tables.get(zone_name)
+            if table is None:
+                continue
+            for action in self.dashboard.actions_from(zone_name):
+                if action.field not in table.column_names:
+                    continue
+                domain = set(table.column(action.field).python_values())
+                surviving = tuple(v for v in selected if v in domain)
+                if surviving != selected:
+                    for gone in set(selected) - set(surviving):
+                        dropped.append((zone_name, gone))
+                    if surviving:
+                        self.selections[zone_name] = surviving
+                    else:
+                        del self.selections[zone_name]
+                    break
+        return dropped

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class. Subsystems raise the more
+specific subclasses below; each carries a human-readable message and, where
+useful, structured context attributes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TqlError(ReproError):
+    """Base class for errors in the TQL front end (lexing/parsing/binding)."""
+
+
+class TqlParseError(TqlError):
+    """Raised when TQL text cannot be tokenized or parsed.
+
+    Attributes:
+        position: character offset in the source text, when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message if position is None else f"{message} (at offset {position})")
+        self.position = position
+
+
+class BindError(TqlError):
+    """Raised when names cannot be resolved or expression types are invalid."""
+
+
+class TypeMismatchError(BindError):
+    """Raised when an expression combines incompatible logical types."""
+
+
+class StorageError(ReproError):
+    """Raised by the TDE storage layer (missing objects, bad files, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a physical plan fails during execution."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the optimizer produces or receives an invalid plan."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors of the simulated databases."""
+
+
+class SqlParseError(SqlError):
+    """Raised when SQL text cannot be parsed by the simulated servers."""
+
+
+class CapabilityError(ReproError):
+    """Raised when a query requires a capability the data source lacks.
+
+    The query compiler uses this to decide which operations must be applied
+    locally in the post-processing stage (paper section 3.1).
+    """
+
+    def __init__(self, message: str, capability: str | None = None):
+        super().__init__(message)
+        self.capability = capability
+
+
+class SourceError(ReproError):
+    """Raised by connectors when a data source misbehaves or disappears."""
+
+
+class ConnectionLimitError(SourceError):
+    """Raised when a simulated server rejects a connection (limit reached)."""
+
+
+class QueryCancelledError(ExecutionError):
+    """Raised when a query is cancelled (connection closed mid-flight)."""
+
+
+class CacheError(ReproError):
+    """Raised by the caching layer (corrupt persisted cache, bad key, ...)."""
+
+
+class ServerError(ReproError):
+    """Raised by Tableau Server / Data Server components."""
+
+
+class PublishError(ServerError):
+    """Raised when publishing a workbook or data source fails."""
+
+
+class PermissionError_(ServerError):
+    """Raised when a user filter or permission check denies access.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised by workload generators for invalid parameter combinations."""

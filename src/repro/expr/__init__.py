@@ -1,0 +1,44 @@
+"""Shared scalar/aggregate expression model.
+
+Expressions are immutable, hashable trees used across the whole stack: the
+TQL front end builds them, the TDE evaluates them vectorized, the query
+compiler rewrites them, the SQL generator prints them in backend dialects,
+and the intelligent cache compares and canonicalizes them for subsumption
+proofs (paper 3.2).
+"""
+
+from .ast import (
+    AggExpr,
+    Call,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    Expr,
+    Literal,
+    columns_used,
+    infer_type,
+    substitute,
+)
+from .functions import FUNCTIONS, FunctionDef, function_cost
+from .eval import evaluate, evaluate_predicate
+from .sexpr import parse_sexpr, to_sexpr
+
+__all__ = [
+    "Expr",
+    "ColumnRef",
+    "Literal",
+    "Call",
+    "Cast",
+    "CaseWhen",
+    "AggExpr",
+    "infer_type",
+    "columns_used",
+    "substitute",
+    "FUNCTIONS",
+    "FunctionDef",
+    "function_cost",
+    "evaluate",
+    "evaluate_predicate",
+    "parse_sexpr",
+    "to_sexpr",
+]

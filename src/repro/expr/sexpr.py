@@ -1,0 +1,256 @@
+"""S-expression text form for expressions.
+
+TQL (the TDE's logical-tree language, paper 4.1.2) embeds scalar
+expressions in this form, and the cache layer uses :func:`to_sexpr` as a
+canonical, deterministic rendering when building cache keys. The grammar:
+
+    expr    := atom | "(" symbol expr* ")"
+    atom    := number | string | "true" | "false" | "null" | identifier
+    string  := '"' (escaped chars) '"'
+
+Identifiers in operand position are column references. Special heads:
+``col`` (explicit column ref), ``list`` (tuple literal for IN), ``date`` /
+``datetime`` (temporal literals), ``cast``, ``case``/``when``/``else``, and
+the aggregate names when aggregates are allowed.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Any
+
+from ..datatypes import LogicalType
+from ..errors import TqlParseError
+from .ast import AggExpr, Call, CaseWhen, Cast, ColumnRef, Expr, Literal
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<string>"(?:[^"\\]|\\.)*") |
+        (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?) |
+        (?P<symbol>[^\s()"]+)
+    )""",
+    re.VERBOSE,
+)
+
+_AGG_NAMES = set(AggExpr.SUPPORTED)
+_TYPE_NAMES = {t.value: t for t in LogicalType}
+
+
+# ---------------------------------------------------------------------- #
+# Printing
+# ---------------------------------------------------------------------- #
+def to_sexpr(node: Expr | AggExpr) -> str:
+    """Render an expression tree to canonical s-expression text."""
+    if isinstance(node, AggExpr):
+        if node.arg is None:
+            return f"({node.func})"
+        return f"({node.func} {to_sexpr(node.arg)})"
+    if isinstance(node, ColumnRef):
+        if _IDENT_RE.match(node.name) and node.name not in ("true", "false", "null"):
+            return node.name
+        return f'(col "{_escape(node.name)}")'
+    if isinstance(node, Literal):
+        return _literal_text(node)
+    if isinstance(node, Cast):
+        return f"(cast {to_sexpr(node.arg)} {node.to.value})"
+    if isinstance(node, CaseWhen):
+        parts = ["(case"]
+        for cond, value in node.branches:
+            parts.append(f"(when {to_sexpr(cond)} {to_sexpr(value)})")
+        parts.append(f"(else {to_sexpr(node.otherwise)})")
+        return " ".join(parts) + ")"
+    if isinstance(node, Call):
+        inner = " ".join(to_sexpr(a) for a in node.args)
+        return f"({node.func} {inner})" if inner else f"({node.func})"
+    raise TqlParseError(f"cannot print {node!r}")
+
+
+def _literal_text(lit: Literal) -> str:
+    v = lit.value
+    if v is None:
+        return "null"
+    if isinstance(v, tuple):
+        return "(list " + " ".join(_scalar_text(x) for x in v) + ")" if v else "(list)"
+    return _scalar_text(v, lit.ltype)
+
+
+def _scalar_text(v: Any, ltype: LogicalType | None = None) -> str:
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, _dt.datetime):
+        return f'(datetime "{v.isoformat()}")'
+    if isinstance(v, _dt.date):
+        return f'(date "{v.isoformat()}")'
+    if isinstance(v, (int,)):
+        return str(v)
+    if isinstance(v, float):
+        return repr(v)
+    if isinstance(v, str):
+        return f'"{_escape(v)}"'
+    raise TqlParseError(f"cannot print literal {v!r}")
+
+
+def _escape(s: str) -> str:
+    return s.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _unescape(s: str) -> str:
+    return s.encode().decode("unicode_escape") if "\\" in s else s
+
+
+# ---------------------------------------------------------------------- #
+# Tokenizing / reading
+# ---------------------------------------------------------------------- #
+def tokenize(text: str) -> list[tuple[str, str, int]]:
+    """Tokenize s-expression text into (kind, value, position) triples."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            if text[pos:].strip() == "":
+                break
+            raise TqlParseError(f"bad character {text[pos]!r}", pos)
+        pos = m.end()
+        kind = m.lastgroup
+        tokens.append((kind, m.group(kind), m.start(kind)))
+    return tokens
+
+
+def read_forms(text: str) -> list:
+    """Parse text into nested Python lists/atoms (the raw reader)."""
+    tokens = tokenize(text)
+    forms, index = _read_many(tokens, 0)
+    if index != len(tokens):
+        raise TqlParseError("trailing tokens after expression", tokens[index][2])
+    return forms
+
+
+def _read_many(tokens, index):
+    forms = []
+    while index < len(tokens) and tokens[index][0] != "rparen":
+        form, index = _read_one(tokens, index)
+        forms.append(form)
+    return forms, index
+
+
+def _read_one(tokens, index):
+    if index >= len(tokens):
+        raise TqlParseError("unexpected end of input")
+    kind, value, pos = tokens[index]
+    if kind == "lparen":
+        inner, index = _read_many(tokens, index + 1)
+        if index >= len(tokens) or tokens[index][0] != "rparen":
+            raise TqlParseError("missing )", pos)
+        return inner, index + 1
+    if kind == "rparen":
+        raise TqlParseError("unexpected )", pos)
+    if kind == "string":
+        return _String(_unescape(value[1:-1])), index + 1
+    if kind == "number":
+        return (float(value) if any(c in value for c in ".eE") else int(value)), index + 1
+    return _Symbol(value), index + 1
+
+
+class _Symbol(str):
+    """A bare identifier token."""
+
+
+class _String(str):
+    """A quoted string token (distinct from identifiers)."""
+
+
+# ---------------------------------------------------------------------- #
+# Building expression trees from raw forms
+# ---------------------------------------------------------------------- #
+def parse_sexpr(text: str, *, allow_agg: bool = False) -> Expr | AggExpr:
+    """Parse a single expression from text."""
+    forms = read_forms(text)
+    if len(forms) != 1:
+        raise TqlParseError(f"expected one expression, found {len(forms)}")
+    return build_expr(forms[0], allow_agg=allow_agg)
+
+
+def build_expr(form, *, allow_agg: bool = False) -> Expr | AggExpr:
+    """Convert a raw reader form to an expression tree."""
+    if isinstance(form, _String):
+        return Literal(str(form))
+    if isinstance(form, _Symbol):
+        name = str(form)
+        if name == "true":
+            return Literal(True)
+        if name == "false":
+            return Literal(False)
+        if name == "null":
+            return Literal(None, LogicalType.INT)
+        return ColumnRef(name)
+    if isinstance(form, (int, float)):
+        return Literal(form)
+    if not isinstance(form, list) or not form:
+        raise TqlParseError(f"cannot build expression from {form!r}")
+    head = form[0]
+    if not isinstance(head, _Symbol):
+        raise TqlParseError(f"expression head must be a symbol, got {head!r}")
+    op = str(head)
+    rest = form[1:]
+    if op in _AGG_NAMES:
+        if not allow_agg:
+            raise TqlParseError(f"aggregate {op} not allowed here")
+        if op == "count" and not rest:
+            return AggExpr("count", None)
+        if len(rest) != 1:
+            raise TqlParseError(f"aggregate {op} takes one argument")
+        return AggExpr(op, build_expr(rest[0]))
+    if op == "col":
+        if len(rest) != 1 or not isinstance(rest[0], _String):
+            raise TqlParseError("(col ...) takes one quoted name")
+        return ColumnRef(str(rest[0]))
+    if op == "list":
+        return Literal(tuple(_literal_value(x) for x in rest))
+    if op == "date":
+        return Literal(_dt.date.fromisoformat(str(rest[0])))
+    if op == "datetime":
+        return Literal(_dt.datetime.fromisoformat(str(rest[0])))
+    if op == "cast":
+        if len(rest) != 2 or str(rest[1]) not in _TYPE_NAMES:
+            raise TqlParseError("(cast expr type) with a known type name")
+        return Cast(build_expr(rest[0]), _TYPE_NAMES[str(rest[1])])
+    if op == "case":
+        branches = []
+        otherwise: Expr = Literal(None, LogicalType.INT)
+        for clause in rest:
+            if not isinstance(clause, list) or not clause:
+                raise TqlParseError("case clauses must be (when ...) or (else ...)")
+            ckind = str(clause[0])
+            if ckind == "when":
+                branches.append((build_expr(clause[1]), build_expr(clause[2])))
+            elif ckind == "else":
+                otherwise = build_expr(clause[1])
+            else:
+                raise TqlParseError(f"unknown case clause {ckind}")
+        return CaseWhen(tuple(branches), otherwise)
+    return Call(op, tuple(build_expr(a) for a in rest))
+
+
+def _literal_value(form) -> Any:
+    if isinstance(form, _String):
+        return str(form)
+    if isinstance(form, (int, float)):
+        return form
+    if isinstance(form, _Symbol):
+        name = str(form)
+        if name == "true":
+            return True
+        if name == "false":
+            return False
+        if name == "null":
+            return None
+    if isinstance(form, list) and form and str(form[0]) == "date":
+        return _dt.date.fromisoformat(str(form[1]))
+    if isinstance(form, list) and form and str(form[0]) == "datetime":
+        return _dt.datetime.fromisoformat(str(form[1]))
+    raise TqlParseError(f"bad literal in list: {form!r}")

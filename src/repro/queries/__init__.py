@@ -1,0 +1,51 @@
+"""The internal (VizQL-style) query model and its compiler.
+
+"The internal queries formulated by components in Tableau closely follow
+the concepts of the application. In general, the queries express
+aggregate-select-project scenarios, with potential subqueries for computed
+columns of different levels of detail and more sophisticated filters, such
+as top-n." (paper 3.1)
+
+A :class:`QuerySpec` captures one zone's data request: dimensions,
+aggregated measures, filters (categorical / range / top-n) against a
+:class:`DataSourceModel` (a single table or a star-schema join view with
+named calculations). ``compile_spec`` lowers a spec to a remote logical
+plan plus dialect text, externalizing big enumerations into temporary
+tables and hoisting unsupported operations into local post-processing.
+"""
+
+from .spec import CategoricalFilter, RangeFilter, TopNFilter, QuerySpec, Filter
+from .model import DataSourceModel, JoinSpec, LodCalculation
+from .compile import CompiledQuery, compile_spec, ModelCatalog
+from .postops import (
+    LocalAggregate,
+    LocalLod,
+    LocalFilter,
+    LocalProject,
+    LocalSort,
+    LocalTopN,
+    PostOp,
+    apply_post_ops,
+)
+
+__all__ = [
+    "QuerySpec",
+    "Filter",
+    "CategoricalFilter",
+    "RangeFilter",
+    "TopNFilter",
+    "DataSourceModel",
+    "JoinSpec",
+    "LodCalculation",
+    "CompiledQuery",
+    "compile_spec",
+    "ModelCatalog",
+    "PostOp",
+    "LocalFilter",
+    "LocalLod",
+    "LocalAggregate",
+    "LocalProject",
+    "LocalSort",
+    "LocalTopN",
+    "apply_post_ops",
+]

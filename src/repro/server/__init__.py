@@ -1,0 +1,28 @@
+"""Tableau Server components: Data Server, temp state, clusters, VizServer.
+
+Section 5 of the paper: publishing data sources once instead of embedding
+them in every workbook, proxying queries through Data Server with a
+unified optimization pipeline, temporary-table state on the proxy and the
+database, row-level user filters, and the distributed cache across server
+nodes.
+"""
+
+from .dataserver import DataServer, DataServerSession, PublishedDataSource
+from .tempstate import TempTableState
+from .cluster import TdeCluster
+from .sharding import ShardedTdeCluster
+from .schedule import RefreshScheduler, RefreshEvent
+from .vizserver import VizServer, ServerNode
+
+__all__ = [
+    "DataServer",
+    "DataServerSession",
+    "PublishedDataSource",
+    "TempTableState",
+    "TdeCluster",
+    "ShardedTdeCluster",
+    "RefreshScheduler",
+    "RefreshEvent",
+    "VizServer",
+    "ServerNode",
+]

@@ -1,0 +1,104 @@
+"""TDE cluster deployment (paper 4.1.4).
+
+"When the TDE is used in the server environment, it is deployed either as
+a shared-nothing architecture or shared-everything architecture. Each node
+in the cluster is a separate TDE program. In the shared-everything
+architecture, storage is shared across all the nodes. A load balancer
+dispatches queries to different nodes in the TDE cluster."
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from ..errors import ServerError
+from ..tde.engine import DataEngine
+from ..tde.optimizer.catalog import StorageCatalog
+from ..tde.optimizer.parallel import PlannerOptions
+from ..tde.storage.table import Table
+
+
+class _Node:
+    def __init__(self, node_id: int, engine: DataEngine):
+        self.node_id = node_id
+        self.engine = engine
+        self.in_flight = 0
+        self.queries_served = 0
+
+
+class TdeCluster:
+    """A cluster of TDE nodes behind a load balancer."""
+
+    MODES = ("shared-nothing", "shared-everything")
+    BALANCERS = ("round-robin", "least-loaded")
+
+    def __init__(
+        self,
+        n_nodes: int,
+        loader: Callable[[DataEngine], None],
+        *,
+        mode: str = "shared-everything",
+        balancer: str = "round-robin",
+        options: PlannerOptions | None = None,
+    ):
+        """``loader`` populates one engine with tables and constraints.
+
+        Shared-everything builds one storage database and points every
+        node's engine at it; shared-nothing calls the loader once per
+        node, giving each node its own replica.
+        """
+        if mode not in self.MODES:
+            raise ServerError(f"unknown cluster mode {mode!r}")
+        if balancer not in self.BALANCERS:
+            raise ServerError(f"unknown balancer {balancer!r}")
+        if n_nodes < 1:
+            raise ServerError("cluster needs at least one node")
+        self.mode = mode
+        self.balancer = balancer
+        self._lock = threading.Lock()
+        self._rr = 0
+        self.nodes: list[_Node] = []
+        if mode == "shared-everything":
+            primary = DataEngine("tde-cluster", options=options)
+            loader(primary)
+            for i in range(n_nodes):
+                engine = DataEngine(f"node{i}", options=options)
+                engine.database = primary.database  # shared storage
+                engine.catalog = primary.catalog
+                self.nodes.append(_Node(i, engine))
+        else:
+            for i in range(n_nodes):
+                engine = DataEngine(f"node{i}", options=options)
+                loader(engine)
+                self.nodes.append(_Node(i, engine))
+
+    # ------------------------------------------------------------------ #
+    def _pick(self) -> _Node:
+        with self._lock:
+            if self.balancer == "round-robin":
+                node = self.nodes[self._rr % len(self.nodes)]
+                self._rr += 1
+            else:
+                node = min(self.nodes, key=lambda n: n.in_flight)
+            node.in_flight += 1
+            return node
+
+    def query(self, tql: str) -> tuple[int, Table]:
+        """Dispatch one query; returns (node_id, result)."""
+        node = self._pick()
+        try:
+            result = node.engine.query(tql)
+        finally:
+            with self._lock:
+                node.in_flight -= 1
+                node.queries_served += 1
+        return node.node_id, result
+
+    def served_per_node(self) -> list[int]:
+        return [n.queries_served for n in self.nodes]
+
+    @property
+    def storage_copies(self) -> int:
+        """Distinct storage databases held by the cluster."""
+        return len({id(n.engine.database) for n in self.nodes})

@@ -1,0 +1,201 @@
+"""Data Server: published data sources behind a proxy (paper 5.2–5.4).
+
+"Users publish data sources that can be leveraged, without duplication,
+by multiple workbooks ... a complex calculation in a data source can be
+defined once and used everywhere. ... Instead of 100 workbooks with
+distinct copies of the same extract, a single extract is created."
+
+A :class:`DataServerSession` is the client-facing connection: it serves
+metadata, applies the user's row-level filter, resolves in-memory
+temporary sets, and funnels queries through the published source's shared
+pipeline (the unified optimization path of 5.3). Client→proxy traffic is
+accounted in bytes so the temp-table experiments can measure the saving.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.pipeline import PipelineOptions, QueryPipeline
+from ..errors import PermissionError_, ServerError
+from ..queries.model import DataSourceModel
+from ..queries.spec import CategoricalFilter, Filter, QuerySpec
+from ..tde.storage.table import Table
+from .tempstate import TempTableState
+
+
+@dataclass
+class PublishedDataSource:
+    """One published source: model + backing source + shared services."""
+
+    name: str
+    model: DataSourceModel
+    source: Any  # a DataSource
+    pipeline: QueryPipeline
+    temp_state: TempTableState
+    user_filters: dict[str, Filter] = field(default_factory=dict)
+    refresh_count: int = 0
+
+
+class DataServer:
+    """Registry of published data sources and session factory."""
+
+    def __init__(self) -> None:
+        self._published: dict[str, PublishedDataSource] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        name: str,
+        model: DataSourceModel,
+        source,
+        *,
+        user_filters: Mapping[str, Filter] | None = None,
+        options: PipelineOptions | None = None,
+    ) -> PublishedDataSource:
+        """Publish a data source (model + extract/live connection)."""
+        with self._lock:
+            if name in self._published:
+                raise ServerError(f"data source {name!r} already published")
+            pipeline = QueryPipeline(source, model, options=options)
+            published = PublishedDataSource(
+                name, model, source, pipeline, TempTableState(), dict(user_filters or {})
+            )
+            self._published[name] = published
+            return published
+
+    def unpublish(self, name: str) -> None:
+        with self._lock:
+            published = self._published.pop(name, None)
+        if published is None:
+            raise ServerError(f"no published data source {name!r}")
+        published.pipeline.close()
+
+    def published_names(self) -> list[str]:
+        return sorted(self._published)
+
+    def get(self, name: str) -> PublishedDataSource:
+        if name not in self._published:
+            raise ServerError(f"no published data source {name!r}")
+        return self._published[name]
+
+    def set_user_filter(self, name: str, user: str, filter_: Filter) -> None:
+        """Restrict ``user``'s rows on a published source (paper 5.2)."""
+        self.get(name).user_filters[user] = filter_
+
+    def refresh_extract(self, name: str, refresher=None) -> int:
+        """Refresh the single shared extract behind a published source.
+
+        ``refresher`` (optional) mutates the backing source in place.
+        Caches for the source are purged — the paper's purge-on-refresh
+        rule (3.2). Returns the total refresh count, which experiment E14
+        compares against the one-copy-per-workbook alternative.
+        """
+        published = self.get(name)
+        if refresher is not None:
+            refresher(published.source)
+        published.pipeline.invalidate()
+        published.refresh_count += 1
+        return published.refresh_count
+
+    def connect(self, name: str, user: str) -> "DataServerSession":
+        return DataServerSession(self.get(name), user)
+
+
+class DataServerSession:
+    """One client connection to a published data source."""
+
+    def __init__(self, published: PublishedDataSource, user: str):
+        self.published = published
+        self.user = user
+        self.closed = False
+        self.bytes_from_client = 0
+        self.queries_answered = 0
+        self._sets: dict[str, tuple[str, str]] = {}  # handle -> (field, shared name)
+
+    # ------------------------------------------------------------------ #
+    def metadata(self) -> dict:
+        """What the client needs to populate its data window (paper 5.2)."""
+        model = self.published.model
+        return {
+            "datasource": self.published.name,
+            "schema": {
+                k: t.value for k, t in model.schema(self.published.source).items()
+            },
+            "calculations": [name for name, _e in model.calculations],
+            "supports_temp_tables": self.published.source.dialect.supports_temp_tables,
+        }
+
+    # ------------------------------------------------------------------ #
+    def create_set(self, handle: str, field_name: str, values) -> str:
+        """Create an in-memory temporary set on the proxy (paper 5.3).
+
+        The values travel once; later queries reference the handle.
+        """
+        self._check_open()
+        values = tuple(values)
+        self.bytes_from_client += len(repr(values)) + len(handle)
+        ltype = self.published.model.schema(self.published.source)[field_name]
+        table = Table.from_pydict({field_name: sorted(set(values))}, types={field_name: ltype})
+        shared = self.published.temp_state.register(handle, table)
+        self._sets[handle] = (field_name, shared)
+        return handle
+
+    def drop_set(self, handle: str) -> None:
+        entry = self._sets.pop(handle, None)
+        if entry is not None:
+            self.published.temp_state.release(entry[1])
+
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        spec: QuerySpec,
+        *,
+        use_sets: Mapping[str, str] | None = None,
+    ) -> Table:
+        """Answer a spec, applying user filters and resolving set handles.
+
+        ``use_sets`` maps field name → set handle: the named set's values
+        are injected as a categorical filter during compilation, without
+        re-shipping them from the client.
+        """
+        self._check_open()
+        if spec.datasource != self.published.name:
+            raise ServerError(
+                f"spec targets {spec.datasource!r}, session is {self.published.name!r}"
+            )
+        self.bytes_from_client += len(spec.canonical()) + sum(
+            len(h) for h in (use_sets or {}).values()
+        )
+        filters = list(spec.filters)
+        for field_name, handle in (use_sets or {}).items():
+            if handle not in self._sets:
+                raise ServerError(f"unknown set handle {handle!r}")
+            set_field, shared = self._sets[handle]
+            if set_field != field_name:
+                raise ServerError(
+                    f"set {handle!r} is over {set_field!r}, not {field_name!r}"
+                )
+            values = self.published.temp_state.get(shared).column(set_field).python_values()
+            filters.append(CategoricalFilter(field_name, tuple(values)))
+        user_filter = self.published.user_filters.get(self.user)
+        if user_filter is not None:
+            filters.append(user_filter)
+        effective = spec.with_filters(tuple(filters))
+        result = self.published.pipeline.run_spec(effective)
+        self.queries_answered += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if not self.closed:
+            for handle in list(self._sets):
+                self.drop_set(handle)
+            self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ServerError("session is closed")

@@ -1,0 +1,146 @@
+"""VizServer: multi-node request handling over the distributed cache.
+
+Paper 3.2, server side: "Tableau Server does not persist the caches but
+it utilizes a distributed layer ... This allows sharing data across nodes
+in the cluster and keeping data warm regardless of which node handles
+particular requests. For efficiency, recent entries are also stored in
+memory on the nodes processing particular queries."
+
+Each :class:`ServerNode` runs its own pipeline whose literal cache is
+backed by the shared :class:`KeyValueStore` with a node-local L1.
+Requests are routed round-robin, so without the distributed layer every
+node would re-fetch the same dashboards from the backend.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.cache.distributed import DistributedQueryCache, KeyValueStore
+from ..core.cache.eviction import EvictionPolicy
+from ..core.pipeline import PipelineOptions, QueryPipeline
+from ..dashboard.model import Dashboard
+from ..dashboard.render import DashboardSession, RenderResult
+from ..errors import ServerError
+from ..queries.model import DataSourceModel
+from ..tde.storage.table import Table
+
+
+class _DistributedLiteralCache:
+    """Adapter exposing the distributed cache as a literal-cache."""
+
+    def __init__(self, cache: DistributedQueryCache):
+        self.cache = cache
+
+    def get(self, key: str) -> Table | None:
+        return self.cache.get(key)
+
+    def put(self, key: str, datasource: str, result: Table, *, cost_s: float = 0.0) -> None:
+        self.cache.put(key, result)
+
+    def invalidate(self, datasource: str | None = None) -> int:
+        return 0  # entries age out of the shared store; nothing local
+
+
+class ServerNode:
+    """One VizServer worker process."""
+
+    def __init__(
+        self,
+        node_id: str,
+        source,
+        model: DataSourceModel,
+        store: KeyValueStore,
+        *,
+        options: PipelineOptions | None = None,
+        use_l1: bool = True,
+    ):
+        self.node_id = node_id
+        self.distributed = DistributedQueryCache(
+            store, node_id, l1_policy=EvictionPolicy(max_entries=64), use_l1=use_l1
+        )
+        self.pipeline = QueryPipeline(
+            source,
+            model,
+            options=options,
+            literal_cache=_DistributedLiteralCache(self.distributed),
+        )
+        self.requests_handled = 0
+
+
+class VizServer:
+    """A cluster of nodes serving dashboard sessions."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        source,
+        model: DataSourceModel,
+        *,
+        store: KeyValueStore | None = None,
+        options: PipelineOptions | None = None,
+        use_l1: bool = True,
+    ):
+        if n_nodes < 1:
+            raise ServerError("VizServer needs at least one node")
+        self.store = store or KeyValueStore()
+        self.nodes = [
+            ServerNode(f"node{i}", source, model, self.store, options=options, use_l1=use_l1)
+            for i in range(n_nodes)
+        ]
+        self._sessions: dict[tuple[str, str], DashboardSession] = {}
+        self._dashboards: dict[str, Dashboard] = {}
+        self._lock = threading.Lock()
+        self._rr = 0
+
+    # ------------------------------------------------------------------ #
+    def register_dashboard(self, dashboard: Dashboard) -> None:
+        self._dashboards[dashboard.name] = dashboard
+
+    def _route(self) -> ServerNode:
+        with self._lock:
+            node = self.nodes[self._rr % len(self.nodes)]
+            self._rr += 1
+            node.requests_handled += 1
+            return node
+
+    def _session(self, user: str, dashboard_name: str, node: ServerNode) -> DashboardSession:
+        key = (user, dashboard_name)
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                if dashboard_name not in self._dashboards:
+                    raise ServerError(f"unknown dashboard {dashboard_name!r}")
+                session = DashboardSession(self._dashboards[dashboard_name], node.pipeline)
+                self._sessions[key] = session
+        # Any node may serve any request; the session state is shared, the
+        # pipeline (and its caches) is the serving node's.
+        session.pipeline = node.pipeline
+        return session
+
+    # ------------------------------------------------------------------ #
+    def load(self, user: str, dashboard_name: str) -> tuple[str, RenderResult]:
+        node = self._route()
+        session = self._session(user, dashboard_name, node)
+        return node.node_id, session.render()
+
+    def select(
+        self, user: str, dashboard_name: str, zone: str, values
+    ) -> tuple[str, RenderResult]:
+        node = self._route()
+        session = self._session(user, dashboard_name, node)
+        return node.node_id, session.select(zone, values)
+
+    # ------------------------------------------------------------------ #
+    def cache_summary(self) -> dict:
+        return {
+            "store_entries": len(self.store),
+            "store_gets": self.store.gets,
+            "store_hits": self.store.hit_count,
+            "l1_hits": sum(n.distributed.l1_hits for n in self.nodes),
+            "l2_hits": sum(n.distributed.l2_hits for n in self.nodes),
+            "misses": sum(n.distributed.misses for n in self.nodes),
+            "remote_queries": sum(
+                n.pipeline.executor.remote_queries_sent for n in self.nodes
+            ),
+        }

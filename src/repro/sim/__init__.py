@@ -1,0 +1,17 @@
+"""Virtual-time execution modeling.
+
+The paper's intra-query parallelism results (section 4.2) were measured on
+multi-core hardware; this host may have a single core and Python holds a
+GIL, so CPU-bound parallel speedups cannot be observed in wall-clock time.
+Instead, ``simulate_plan`` replays a *real* physical plan — the exact tree
+the optimizer produced, including Exchange placement, shared builds and
+fraction boundaries — on a simulated multicore machine using the same
+per-operator cost constants the optimizer plans with. The threaded runtime
+still executes every parallel plan for correctness; the simulator supplies
+the latency numbers.
+"""
+
+from .machine import MachineModel, SimReport, simulate_plan
+from .metrics import Recorder
+
+__all__ = ["MachineModel", "SimReport", "simulate_plan", "Recorder"]

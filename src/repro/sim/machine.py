@@ -1,0 +1,263 @@
+"""Multicore machine model: replay physical plans in virtual time.
+
+The model walks a physical operator tree bottom-up, computing each
+pipeline fragment's CPU work from the optimizer's cost constants and the
+*actual* row counts of the scanned fractions (available on the plan's
+``PScan`` nodes). Exchange inputs become parallel tasks scheduled onto K
+cores with longest-processing-time list scheduling; everything above an
+Exchange is serial; SharedTable builds are paid once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import math as _math
+
+from ..errors import ReproError
+from ..expr.ast import Expr
+from ..tde.exec.exchange import PExchange, PMergeSorted, SharedBuild
+from ..tde.exec.physical import (
+    PFilter,
+    PHashAggregate,
+    PHashJoin,
+    PIndexedRleScan,
+    PLimit,
+    PProject,
+    PScan,
+    PSingleRow,
+    PSort,
+    PStreamAggregate,
+    PTopN,
+    PhysNode,
+)
+from ..tde.optimizer import cost as C
+
+
+@dataclass
+class MachineModel:
+    """A simulated host."""
+
+    cores: int = 4
+    #: Seconds of virtual time per cost-model work unit.
+    unit_time_s: float = 2e-8
+    #: Fixed cost of standing up one parallel fragment (thread dispatch).
+    fragment_overhead_units: float = C.EXCHANGE_SETUP
+
+
+@dataclass
+class SimReport:
+    """Virtual-time outcome of one plan replay."""
+
+    elapsed_s: float
+    cpu_s: float
+    fragments: int
+    critical_path_s: float
+
+    @property
+    def speedup_headroom(self) -> float:
+        """cpu / elapsed — how much parallelism the plan realized."""
+        return self.cpu_s / self.elapsed_s if self.elapsed_s else 1.0
+
+
+def simulate_plan(plan: PhysNode, machine: MachineModel | None = None) -> SimReport:
+    """Replay ``plan`` on the machine model; returns virtual timings."""
+    machine = machine or MachineModel()
+    sim = _Simulator(machine)
+    elapsed_units, _rows = sim.elapsed(plan)
+    return SimReport(
+        elapsed_s=elapsed_units * machine.unit_time_s,
+        cpu_s=sim.total_work * machine.unit_time_s,
+        fragments=sim.fragments,
+        critical_path_s=elapsed_units * machine.unit_time_s,
+    )
+
+
+class _Simulator:
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+        self.total_work = 0.0
+        self.fragments = 0
+        self._shared_seen: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Elapsed (wall) virtual time of a subtree
+    # ------------------------------------------------------------------ #
+    def elapsed(self, node: PhysNode) -> tuple[float, float]:
+        """Return (elapsed_units, output_rows)."""
+        if isinstance(node, (PExchange, PMergeSorted)):
+            works = []
+            rows = 0.0
+            prelude = 0.0
+            for child in node.inputs:
+                # Shared builds inside fragments are built once, serially,
+                # before the parallel region starts.
+                prelude += self._collect_shared(child)
+                w, r = self.work(child)
+                works.append(w + self.machine.fragment_overhead_units)
+                rows += r
+            self.fragments += len(works)
+            makespan = _lpt_makespan(works, self.machine.cores)
+            if isinstance(node, PMergeSorted):
+                # k-way merge: O(n log k) with a heavier per-row constant.
+                merge = rows * C.EXCHANGE_ROW * 4.0 * max(
+                    1.0, _math.log2(max(len(works), 2))
+                )
+            else:
+                merge = rows * C.EXCHANGE_ROW
+            self.total_work += merge
+            return prelude + makespan + merge, rows
+        if isinstance(node, SharedBuild):
+            if id(node) in self._shared_seen:
+                w, r = self.work(node.child, count=False)
+                return 0.0, r
+            self._shared_seen.add(id(node))
+            return self.elapsed(node.child)
+        if isinstance(node, PHashJoin):
+            build_elapsed, build_rows = self.elapsed(node.build_source)
+            probe_elapsed, probe_rows = self.elapsed(node.probe)
+            own = build_rows * C.JOIN_BUILD_ROW + probe_rows * C.JOIN_PROBE_ROW
+            self.total_work += own
+            return build_elapsed + probe_elapsed + own, probe_rows
+        own, rows, child = self._own(node)
+        self.total_work += own
+        if child is None:
+            return own, rows
+        child_elapsed, _ = self.elapsed(child)
+        return child_elapsed + own, rows
+
+    # ------------------------------------------------------------------ #
+    # Total serial work of a subtree (a fragment's CPU demand)
+    # ------------------------------------------------------------------ #
+    def work(self, node: PhysNode, *, count: bool = True) -> tuple[float, float]:
+        if isinstance(node, (PExchange, PMergeSorted)):
+            total = 0.0
+            rows = 0.0
+            for child in node.inputs:
+                w, r = self.work(child, count=count)
+                total += w
+                rows += r
+            return total, rows
+        if isinstance(node, SharedBuild):
+            first = id(node) not in self._shared_seen
+            if first:
+                self._shared_seen.add(id(node))
+            w, r = self.work(node.child, count=count and first)
+            return (w if first else 0.0), r
+        if isinstance(node, PHashJoin):
+            bw, brows = self.work(node.build_source, count=count)
+            pw, prows = self.work(node.probe, count=count)
+            own = brows * C.JOIN_BUILD_ROW + prows * C.JOIN_PROBE_ROW
+            if count:
+                self.total_work += own
+            return bw + pw + own, prows
+        own, rows, child = self._own(node)
+        if count:
+            self.total_work += own
+        if child is None:
+            return own, rows
+        cw, _ = self.work(child, count=count)
+        return cw + own, rows
+
+    def _collect_shared(self, node: PhysNode) -> float:
+        """Serial prelude: unbuilt SharedBuild work inside a fragment."""
+        prelude = 0.0
+        for sub in node.walk():
+            if isinstance(sub, SharedBuild) and id(sub) not in self._shared_seen:
+                self._shared_seen.add(id(sub))
+                w, _ = self.work(sub.child)
+                prelude += w
+        return prelude
+
+    # ------------------------------------------------------------------ #
+    # Per-operator work (excluding children); returns (own, rows, child)
+    # ------------------------------------------------------------------ #
+    def _own(self, node: PhysNode) -> tuple[float, float, PhysNode | None]:
+        if isinstance(node, PScan):
+            stop = node.table.n_rows if node.stop is None else node.stop
+            rows = max(stop - node.start, 0)
+            own = rows * C.SCAN_ROW
+            out_rows = rows
+            if node.predicate is not None:
+                own += rows * (C.FILTER_ROW + _expr_units(node.predicate))
+                out_rows = rows * C.estimate_selectivity(node.predicate)
+            return own, out_rows, None
+        if isinstance(node, PIndexedRleScan):
+            rows = node.table.n_rows
+            col = node.table.column(node.column)
+            runs = getattr(col.physical, "n_runs", rows)
+            selectivity = C.estimate_selectivity(node.predicate)
+            scanned = rows * selectivity
+            own = runs * (C.FILTER_ROW + _expr_units(node.predicate)) + scanned * C.SCAN_ROW
+            if node.residual is not None:
+                own += scanned * (C.FILTER_ROW + _expr_units(node.residual))
+                scanned *= C.estimate_selectivity(node.residual)
+            return own, scanned, None
+        if isinstance(node, PSingleRow):
+            return 0.0, node.table.n_rows, None
+        if isinstance(node, PFilter):
+            rows = self._rows_of(node.child)
+            own = rows * (C.FILTER_ROW + _expr_units(node.predicate))
+            return own, rows * C.estimate_selectivity(node.predicate), node.child
+        if isinstance(node, PProject):
+            rows = self._rows_of(node.child)
+            per_row = C.PROJECT_ROW + sum(_expr_units(e) for _n, e in node.items)
+            return rows * per_row, rows, node.child
+        if isinstance(node, (PHashAggregate, PStreamAggregate)):
+            rows = self._rows_of(node.child)
+            per_row = (
+                C.AGG_STREAM_ROW if isinstance(node, PStreamAggregate) else C.AGG_HASH_ROW
+            )
+            groups = max(1.0, rows ** 0.75) if node.groupby else 1.0
+            return rows * per_row * max(1, len(node.specs)), min(groups, rows), node.child
+        if isinstance(node, PSort):
+            rows = self._rows_of(node.child)
+            n = max(rows, 2.0)
+            return n * math.log2(n) * C.SORT_ROW_LOG, rows, node.child
+        if type(node).__name__ == "PWindow":
+            rows = self._rows_of(node.child)
+            n = max(rows, 2.0)
+            per_item = n * math.log2(n) * C.SORT_ROW_LOG + n * 1.5
+            return per_item * max(len(node.items), 1), rows, node.child
+        if isinstance(node, PTopN):
+            rows = self._rows_of(node.child)
+            return rows * C.TOPN_ROW, min(rows, node.n), node.child
+        if isinstance(node, PLimit):
+            rows = self._rows_of(node.child)
+            return 0.0, min(rows, node.n), node.child
+        raise ReproError(f"cannot simulate {type(node).__name__}")
+
+    def _rows_of(self, node: PhysNode) -> float:
+        """Estimated output rows of a subtree (no work accounting)."""
+        if isinstance(node, (PExchange, PMergeSorted)):
+            return sum(self._rows_of(c) for c in node.inputs)
+        if isinstance(node, SharedBuild):
+            return self._rows_of(node.child)
+        if isinstance(node, PHashJoin):
+            return self._rows_of(node.probe)
+        own, rows, _child = self._own_rows(node)
+        return rows
+
+    def _own_rows(self, node: PhysNode) -> tuple[float, float, PhysNode | None]:
+        # A work-free variant of _own for row estimation only.
+        saved = self.total_work
+        try:
+            return self._own(node)
+        finally:
+            self.total_work = saved
+
+
+def _expr_units(expr: Expr) -> float:
+    return C.expr_cost(expr)
+
+
+def _lpt_makespan(works: list[float], cores: int) -> float:
+    """Longest-processing-time list scheduling makespan."""
+    if not works:
+        return 0.0
+    loads = [0.0] * max(1, cores)
+    for w in sorted(works, reverse=True):
+        idx = loads.index(min(loads))
+        loads[idx] += w
+    return max(loads)

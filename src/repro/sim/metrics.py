@@ -1,0 +1,67 @@
+"""Small measurement helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Recorder:
+    """Collects labeled series and prints them as aligned tables.
+
+    Benchmarks use one Recorder per experiment so their stdout shows the
+    same rows/series the paper's figures would, independent of
+    pytest-benchmark's own timing output.
+    """
+
+    title: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        formatted: list[list[str]] = []
+        for row in self.rows:
+            cells = [_fmt(v) for v in row]
+            formatted.append(cells)
+            for i, cell in enumerate(cells):
+                if i < len(widths):
+                    widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in formatted:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+    def emit(self) -> None:
+        print("\n" + self.render())
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 100:
+            return f"{v:.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4f}"
+    return str(v)
+
+
+def time_call(fn: Callable[[], Any], *, repeat: int = 3) -> tuple[float, Any]:
+    """Median wall-clock seconds over ``repeat`` calls, plus last result."""
+    samples = []
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples), result

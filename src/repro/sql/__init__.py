@@ -1,0 +1,27 @@
+"""SQL front end for the simulated remote databases.
+
+Tableau compiles its internal queries "into textual queries in appropriate
+dialects" (paper 3.1). This package provides both directions:
+
+* :func:`generate_sql` — logical plan → SQL text in a given dialect,
+  respecting per-backend capabilities (missing functions raise
+  :class:`~repro.errors.CapabilityError`, which the query compiler turns
+  into local post-processing);
+* :func:`parse_sql` — SQL text → logical plan, used by the simulated
+  servers to execute what they receive (and by tests to verify the
+  round trip).
+"""
+
+from .dialects import Capabilities, ANSI, QUIRKDB, SQLSERVERISH, DIALECTS
+from .generator import generate_sql
+from .parser import parse_sql
+
+__all__ = [
+    "Capabilities",
+    "ANSI",
+    "QUIRKDB",
+    "SQLSERVERISH",
+    "DIALECTS",
+    "generate_sql",
+    "parse_sql",
+]

@@ -1,0 +1,95 @@
+"""Backend dialect and capability descriptors.
+
+"The query compiler incorporates information about cardinalities, domains,
+and overall capabilities of the data source, such as support for
+subqueries, temporary table creation and indexing, or insertion over
+selection." (paper 3.1) — plus: "out of the wide spectrum of scalar and
+aggregate functions available in the system, the native implementations
+might vary a lot ... As a result, some operations may need to be locally
+applied in the post-processing stage."
+
+Each simulated backend carries one of these descriptors; the query
+compiler consults it to decide what it can push down, when to externalize
+big IN-lists into temporary tables, and which calculations must run
+locally after the rows come back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a backend can do and how its SQL is spelled."""
+
+    name: str
+    identifier_quote: str = '"'
+    supports_subqueries: bool = True
+    supports_temp_tables: bool = True
+    supports_limit: bool = True
+    #: IN-lists longer than this should be externalized to a temp table
+    #: ("externalization of large enumerations with temporary secondary
+    #: structures", paper 3.1). None disables the limit.
+    max_in_list: int | None = None
+    #: Scalar functions the backend evaluates natively. Anything else must
+    #: be post-processed locally by the client.
+    supported_functions: frozenset[str] = frozenset()
+    #: Backend-specific function spellings.
+    function_renames: dict[str, str] = field(default_factory=dict, hash=False, compare=False)
+
+    def quote(self, identifier: str) -> str:
+        q = self.identifier_quote
+        return f"{q}{identifier.replace(q, q + q)}{q}"
+
+    def supports_function(self, name: str) -> bool:
+        return name in self.supported_functions
+
+    def native_name(self, name: str) -> str:
+        return self.function_renames.get(name, name)
+
+
+_COMMON_FUNCTIONS = frozenset(
+    {
+        "+", "-", "*", "/", "%", "neg",
+        "=", "<>", "<", "<=", ">", ">=",
+        "and", "or", "not", "isnull", "ifnull", "in",
+        "abs", "round", "floor", "ceil",
+        "year", "month", "day", "hour", "weekday",
+        "upper", "lower", "len", "substr", "concat", "trim",
+        "contains", "startswith", "endswith",
+        "sqrt", "ln", "exp", "pow",
+    }
+)
+
+#: A well-behaved ANSI-ish backend: everything supported.
+ANSI = Capabilities(
+    name="ansi",
+    supported_functions=_COMMON_FUNCTIONS,
+)
+
+#: A capable commercial engine with its own spellings (SQL Server-like:
+#: parallel plans, MARS, temp tables — the execution side lives in the
+#: simulated server profile).
+SQLSERVERISH = Capabilities(
+    name="sqlserverish",
+    identifier_quote='"',
+    supported_functions=_COMMON_FUNCTIONS,
+    function_renames={"len": "LEN", "ifnull": "ISNULL_FN"},
+    max_in_list=2_000,
+)
+
+#: A quirky, limited backend: no subqueries from the client's viewpoint,
+#: tiny IN-lists, missing string/date functions — exercising the local
+#: post-processing path of paper 3.1.
+QUIRKDB = Capabilities(
+    name="quirkdb",
+    identifier_quote="`",
+    supports_temp_tables=False,
+    supports_limit=False,
+    max_in_list=16,
+    supported_functions=_COMMON_FUNCTIONS
+    - {"contains", "startswith", "endswith", "weekday", "substr", "pow", "ln", "exp"},
+)
+
+DIALECTS = {d.name: d for d in (ANSI, SQLSERVERISH, QUIRKDB)}

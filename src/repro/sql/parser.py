@@ -1,0 +1,580 @@
+"""SQL text → logical plan, for the subset the generator emits.
+
+The simulated backends are real (if small) SQL servers: they receive
+text, tokenize, parse and execute it. Statements:
+
+    SELECT ... FROM ... [WHERE] [GROUP BY] [HAVING] [ORDER BY] [LIMIT]
+    CREATE TEMP TABLE name AS SELECT ...
+    CREATE TEMP TABLE name (col TYPE, ...)
+    INSERT INTO name VALUES (...), (...)
+    DROP TABLE name
+
+Column references may be alias-qualified (``t1."delay"``); the qualifier
+is discarded because the pipeline keeps column names globally unique
+within a query (the generator guarantees it).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from ..datatypes import LogicalType
+from ..errors import SqlParseError
+from ..expr.ast import AggExpr, Call, CaseWhen, Cast, ColumnRef, Expr, Literal
+from ..tde.tql.plan import (
+    Aggregate,
+    Join,
+    Limit,
+    LogicalPlan,
+    Order,
+    Project,
+    Select,
+    TableScan,
+    TopN,
+)
+from .generator import SQL_TYPES_BY_NAME
+
+
+# ---------------------------------------------------------------------- #
+# Statements
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SelectStatement:
+    plan: LogicalPlan
+
+
+@dataclass(frozen=True)
+class CreateTempTable:
+    name: str
+    plan: LogicalPlan | None = None
+    columns: tuple[tuple[str, LogicalType], ...] | None = None
+
+
+@dataclass(frozen=True)
+class InsertValues:
+    name: str
+    rows: tuple[tuple[Any, ...], ...]
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+Statement = SelectStatement | CreateTempTable | InsertValues | DropTable
+
+
+def parse_sql(text: str) -> LogicalPlan:
+    """Parse a single SELECT statement into a logical plan."""
+    stmt = parse_statement(text)
+    if not isinstance(stmt, SelectStatement):
+        raise SqlParseError("expected a SELECT statement")
+    return stmt.plan
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse any supported statement (a trailing semicolon is allowed)."""
+    parser = _Parser(_tokenize(text.strip().rstrip(";")))
+    stmt = parser.statement()
+    parser.expect_end()
+    return stmt
+
+
+# ---------------------------------------------------------------------- #
+# Lexer
+# ---------------------------------------------------------------------- #
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<qident>"(?:[^"]|"")*"|`(?:[^`]|``)*`) |
+        (?P<string>'(?:[^']|'')*') |
+        (?P<number>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?) |
+        (?P<punct><=|>=|<>|=|<|>|\(|\)|,|\.|\*|\+|-|/|%) |
+        (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos:].strip() == "":
+            break
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise SqlParseError(f"bad SQL character {text[pos]!r} at {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        tokens.append((kind, m.group(kind)))
+    return tokens
+
+
+_AGG_FUNCS = {"SUM": "sum", "MIN": "min", "MAX": "max", "AVG": "avg", "COUNT": "count"}
+_FUNC_RENAMES_BACK = {
+    "COALESCE": "ifnull",
+    "ISNULL_FN": "ifnull",
+    "LEN": "len",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise SqlParseError("unexpected end of SQL")
+        self.pos += 1
+        return tok
+
+    def at_word(self, *words: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok[0] == "word" and tok[1].upper() in words
+
+    def eat_word(self, *words: str) -> bool:
+        if self.at_word(*words):
+            self.pos += 1
+            return True
+        return False
+
+    def expect_word(self, word: str) -> None:
+        if not self.eat_word(word):
+            raise SqlParseError(f"expected {word}, got {self.peek()}")
+
+    def at_punct(self, p: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok[0] == "punct" and tok[1] == p
+
+    def eat_punct(self, p: str) -> bool:
+        if self.at_punct(p):
+            self.pos += 1
+            return True
+        return False
+
+    def expect_punct(self, p: str) -> None:
+        if not self.eat_punct(p):
+            raise SqlParseError(f"expected {p!r}, got {self.peek()}")
+
+    def expect_end(self) -> None:
+        if self.peek() is not None:
+            raise SqlParseError(f"trailing tokens: {self.peek()}")
+
+    def identifier(self) -> str:
+        kind, value = self.next()
+        if kind == "qident":
+            quote = value[0]
+            return value[1:-1].replace(quote * 2, quote)
+        if kind == "word":
+            return value
+        raise SqlParseError(f"expected identifier, got {value!r}")
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def statement(self) -> Statement:
+        if self.at_word("SELECT"):
+            return SelectStatement(self.select())
+        if self.eat_word("CREATE"):
+            if not (self.eat_word("TEMP") or self.eat_word("TEMPORARY")):
+                raise SqlParseError("only CREATE TEMP TABLE is supported")
+            self.expect_word("TABLE")
+            name = self._qualified_name()
+            if self.eat_word("AS"):
+                return CreateTempTable(name, plan=self.select())
+            self.expect_punct("(")
+            columns: list[tuple[str, LogicalType]] = []
+            while True:
+                col = self.identifier()
+                type_word = self.identifier().upper()
+                if type_word not in SQL_TYPES_BY_NAME:
+                    raise SqlParseError(f"unknown SQL type {type_word}")
+                columns.append((col, SQL_TYPES_BY_NAME[type_word]))
+                if not self.eat_punct(","):
+                    break
+            self.expect_punct(")")
+            return CreateTempTable(name, columns=tuple(columns))
+        if self.eat_word("INSERT"):
+            self.expect_word("INTO")
+            name = self._qualified_name()
+            self.expect_word("VALUES")
+            rows = []
+            while True:
+                self.expect_punct("(")
+                row = []
+                while True:
+                    row.append(self._literal_value())
+                    if not self.eat_punct(","):
+                        break
+                self.expect_punct(")")
+                rows.append(tuple(row))
+                if not self.eat_punct(","):
+                    break
+            return InsertValues(name, tuple(rows))
+        if self.eat_word("DROP"):
+            self.expect_word("TABLE")
+            return DropTable(self._qualified_name())
+        raise SqlParseError(f"unsupported statement start: {self.peek()}")
+
+    def _qualified_name(self) -> str:
+        name = self.identifier()
+        while self.eat_punct("."):
+            name += "." + self.identifier()
+        return name
+
+    # ------------------------------------------------------------------ #
+    # SELECT
+    # ------------------------------------------------------------------ #
+    def select(self) -> LogicalPlan:
+        self.expect_word("SELECT")
+        star = self.eat_punct("*")
+        items: list[tuple[str, Expr | AggExpr]] = []
+        if not star:
+            while True:
+                item = self._select_item()
+                items.append(item)
+                if not self.eat_punct(","):
+                    break
+        self.expect_word("FROM")
+        plan = self._from_item()
+        if self.eat_word("WHERE"):
+            plan = Select(plan, self.expr())
+        groupby: list[str] = []
+        explicit_group = False
+        if self.eat_word("GROUP"):
+            self.expect_word("BY")
+            explicit_group = True
+            while True:
+                groupby.append(self._column_name())
+                if not self.eat_punct(","):
+                    break
+        has_aggs = any(isinstance(e, AggExpr) for _n, e in items)
+        if has_aggs or explicit_group:
+            plan = self._build_aggregate(plan, items, groupby)
+        elif not star:
+            plan = Project(plan, [(n, e) for n, e in items])
+        if self.eat_word("HAVING"):
+            plan = Select(plan, self.expr())
+        keys: list[tuple[str, bool]] = []
+        if self.eat_word("ORDER"):
+            self.expect_word("BY")
+            while True:
+                col = self._column_name()
+                asc = True
+                if self.eat_word("DESC"):
+                    asc = False
+                else:
+                    self.eat_word("ASC")
+                keys.append((col, asc))
+                if not self.eat_punct(","):
+                    break
+        if self.eat_word("LIMIT"):
+            kind, value = self.next()
+            if kind != "number":
+                raise SqlParseError("LIMIT requires a number")
+            n = int(value)
+            return TopN(plan, n, keys) if keys else Limit(plan, n)
+        if keys:
+            return Order(plan, keys)
+        return plan
+
+    def _build_aggregate(self, plan, items, groupby) -> LogicalPlan:
+        group_names: list[str] = []
+        aggs: list[tuple[str, AggExpr]] = []
+        group_set = set(groupby)
+        for name, e in items:
+            if isinstance(e, AggExpr):
+                aggs.append((name, e))
+            elif isinstance(e, ColumnRef) and (not group_set or e.name in group_set):
+                group_names.append(e.name)
+            else:
+                raise SqlParseError(
+                    f"non-aggregate select item {name!r} must be a grouped column"
+                )
+        if group_set and set(group_names) != group_set:
+            # GROUP BY columns not all projected; honor the GROUP BY list.
+            group_names = list(groupby)
+        return Aggregate(plan, group_names, aggs)
+
+    def _select_item(self) -> tuple[str, Expr | AggExpr]:
+        expr = self._expr_or_agg()
+        if self.eat_word("AS"):
+            return self.identifier(), expr
+        tok = self.peek()
+        if tok is not None and tok[0] in ("qident",) :
+            return self.identifier(), expr
+        if isinstance(expr, ColumnRef):
+            return expr.name, expr
+        raise SqlParseError("select item needs an alias")
+
+    def _column_name(self) -> str:
+        name = self.identifier()
+        while self.eat_punct("."):
+            name = self.identifier()
+        return name
+
+    # ------------------------------------------------------------------ #
+    # FROM
+    # ------------------------------------------------------------------ #
+    def _from_item(self) -> LogicalPlan:
+        plan = self._from_unit()
+        while True:
+            if self.eat_word("INNER"):
+                self.expect_word("JOIN")
+                kind = "inner"
+            elif self.eat_word("LEFT"):
+                self.eat_word("OUTER")
+                self.expect_word("JOIN")
+                kind = "left"
+            elif self.at_word("JOIN"):
+                self.expect_word("JOIN")
+                kind = "inner"
+            else:
+                return plan
+            right = self._from_unit()
+            self.expect_word("ON")
+            conditions = [self._join_condition()]
+            while self.eat_word("AND"):
+                conditions.append(self._join_condition())
+            plan = Join(kind, conditions, plan, right)
+
+    def _from_unit(self) -> LogicalPlan:
+        if self.eat_punct("("):
+            inner = self.select()
+            self.expect_punct(")")
+            self.eat_word("AS")
+            if self.peek() is not None and self.peek()[0] in ("word", "qident"):
+                self.identifier()  # alias, ignored
+            return inner
+        name = self._qualified_name()
+        if self.eat_word("AS"):
+            self.identifier()
+        elif self.peek() is not None and self.peek()[0] == "word" and not self.at_word(
+            "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "INNER", "LEFT", "JOIN", "ON"
+        ):
+            self.identifier()  # bare alias
+        return TableScan(name)
+
+    def _join_condition(self) -> tuple[str, str]:
+        left = self._column_name()
+        self.expect_punct("=")
+        right = self._column_name()
+        return left, right
+
+    # ------------------------------------------------------------------ #
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+    def _expr_or_agg(self) -> Expr | AggExpr:
+        tok = self.peek()
+        if tok is not None and tok[0] == "word" and tok[1].upper() in _AGG_FUNCS:
+            save = self.pos
+            word = tok[1].upper()
+            self.pos += 1
+            if self.eat_punct("("):
+                if word == "COUNT" and self.eat_punct("*"):
+                    self.expect_punct(")")
+                    return AggExpr("count", None)
+                if self.eat_word("DISTINCT"):
+                    arg = self.expr()
+                    self.expect_punct(")")
+                    if word != "COUNT":
+                        raise SqlParseError("DISTINCT only supported under COUNT")
+                    return AggExpr("count_distinct", arg)
+                arg = self.expr()
+                self.expect_punct(")")
+                return AggExpr(_AGG_FUNCS[word], arg)
+            self.pos = save
+        return self.expr()
+
+    def expr(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self.eat_word("OR"):
+            left = Call("or", (left, self._and()))
+        return left
+
+    def _and(self) -> Expr:
+        left = self._not()
+        while self.eat_word("AND"):
+            left = Call("and", (left, self._not()))
+        return left
+
+    def _not(self) -> Expr:
+        if self.eat_word("NOT"):
+            return Call("not", (self._not(),))
+        return self._predicate()
+
+    def _predicate(self) -> Expr:
+        left = self._additive()
+        tok = self.peek()
+        if tok is not None and tok[0] == "punct" and tok[1] in ("=", "<>", "<", "<=", ">", ">="):
+            op = self.next()[1]
+            return Call(op, (left, self._additive()))
+        if self.eat_word("IS"):
+            negate = self.eat_word("NOT")
+            self.expect_word("NULL")
+            out = Call("isnull", (left,))
+            return Call("not", (out,)) if negate else out
+        negate = False
+        if self.at_word("NOT"):
+            save = self.pos
+            self.pos += 1
+            if self.at_word("IN"):
+                negate = True
+            else:
+                self.pos = save
+        if self.eat_word("IN"):
+            self.expect_punct("(")
+            values = []
+            if not self.at_punct(")"):
+                while True:
+                    values.append(self._literal_value())
+                    if not self.eat_punct(","):
+                        break
+            self.expect_punct(")")
+            out = Call("in", (left, Literal(tuple(values))))
+            return Call("not", (out,)) if negate else out
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            if self.eat_punct("+"):
+                left = Call("+", (left, self._multiplicative()))
+            elif self.eat_punct("-"):
+                left = Call("-", (left, self._multiplicative()))
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            if self.eat_punct("*"):
+                left = Call("*", (left, self._unary()))
+            elif self.eat_punct("/"):
+                left = Call("/", (left, self._unary()))
+            elif self.eat_punct("%"):
+                left = Call("%", (left, self._unary()))
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self.eat_punct("-"):
+            inner = self._unary()
+            if isinstance(inner, Literal) and isinstance(inner.value, (int, float)):
+                return Literal(-inner.value)
+            return Call("neg", (inner,))
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self.peek()
+        if tok is None:
+            raise SqlParseError("unexpected end of expression")
+        kind, value = tok
+        if kind == "number":
+            self.next()
+            return Literal(float(value) if any(c in value for c in ".eE") else int(value))
+        if kind == "string":
+            self.next()
+            return Literal(value[1:-1].replace("''", "'"))
+        if self.eat_punct("("):
+            inner = self.expr()
+            self.expect_punct(")")
+            return inner
+        if kind == "qident":
+            return self._qualified_ref()
+        if kind == "word":
+            return self._word_primary(value)
+        raise SqlParseError(f"unexpected token {value!r} in expression")
+
+    def _qualified_ref(self) -> Expr:
+        name = self.identifier()
+        while self.eat_punct("."):
+            name = self.identifier()
+        return ColumnRef(name)
+
+    def _word_primary(self, value: str) -> Expr:
+        upper = value.upper()
+        if upper == "TRUE":
+            self.next()
+            return Literal(True)
+        if upper == "FALSE":
+            self.next()
+            return Literal(False)
+        if upper == "NULL":
+            self.next()
+            return Literal(None, LogicalType.INT)
+        if upper == "DATE":
+            self.next()
+            kind, raw = self.next()
+            if kind != "string":
+                raise SqlParseError("DATE literal needs a quoted string")
+            return Literal(_dt.date.fromisoformat(raw[1:-1]))
+        if upper == "TIMESTAMP":
+            self.next()
+            kind, raw = self.next()
+            if kind != "string":
+                raise SqlParseError("TIMESTAMP literal needs a quoted string")
+            return Literal(_dt.datetime.fromisoformat(raw[1:-1]))
+        if upper == "CASE":
+            return self._case()
+        if upper == "CAST":
+            self.next()
+            self.expect_punct("(")
+            inner = self.expr()
+            self.expect_word("AS")
+            type_word = self.identifier().upper()
+            if type_word not in SQL_TYPES_BY_NAME:
+                raise SqlParseError(f"unknown SQL type {type_word}")
+            self.expect_punct(")")
+            return Cast(inner, SQL_TYPES_BY_NAME[type_word])
+        # Function call or bare/qualified column.
+        save = self.pos
+        self.next()
+        if self.eat_punct("("):
+            func = _FUNC_RENAMES_BACK.get(upper, value.lower())
+            args = []
+            if not self.at_punct(")"):
+                while True:
+                    args.append(self.expr())
+                    if not self.eat_punct(","):
+                        break
+            self.expect_punct(")")
+            return Call(func, tuple(args))
+        self.pos = save
+        return self._qualified_ref()
+
+    def _case(self) -> Expr:
+        self.expect_word("CASE")
+        branches = []
+        while self.eat_word("WHEN"):
+            cond = self.expr()
+            self.expect_word("THEN")
+            branches.append((cond, self.expr()))
+        otherwise: Expr = Literal(None, LogicalType.INT)
+        if self.eat_word("ELSE"):
+            otherwise = self.expr()
+        self.expect_word("END")
+        return CaseWhen(tuple(branches), otherwise)
+
+    # ------------------------------------------------------------------ #
+    # Literals for VALUES / IN
+    # ------------------------------------------------------------------ #
+    def _literal_value(self) -> Any:
+        expr = self._unary()
+        if isinstance(expr, Literal) and not isinstance(expr.value, tuple):
+            return expr.value
+        raise SqlParseError("expected a literal value")

@@ -1,0 +1,229 @@
+"""DataEngine: the public facade of the TDE reproduction.
+
+Usage::
+
+    engine = DataEngine("sales")
+    engine.load_pydict("Extract.orders", {"region": [...], "amount": [...]})
+    result = engine.query('(aggregate (region) ((total (sum amount))) '
+                          '(scan "Extract.orders"))')
+
+The engine owns a :class:`Database`, a :class:`StorageCatalog` with the
+declared constraints the optimizer uses, and the planner options that
+control parallelism. ``save``/``open`` pack the whole database into a
+single file (paper 4.1.1).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..errors import StorageError
+from .exec.exchange import PExchange, SharedBuild
+from .exec.physical import (
+    ExecContext,
+    PFilter,
+    PHashAggregate,
+    PHashJoin,
+    PIndexedRleScan,
+    PLimit,
+    PProject,
+    PScan,
+    PSingleRow,
+    PSort,
+    PStreamAggregate,
+    PTopN,
+    PhysNode,
+    execute_to_table,
+)
+from .optimizer.catalog import StorageCatalog
+from .optimizer.parallel import PlannerOptions
+from .optimizer.planner import plan_query
+from .optimizer.rules import rewrite_logical
+from .storage.filepack import pack_database, unpack_database
+from .storage.schema import Database
+from .storage.table import Table
+from .tql.parser import parse_tql
+from .tql.plan import LogicalPlan
+
+
+class DataEngine:
+    """An embeddable, read-mostly columnar analytics engine."""
+
+    def __init__(
+        self,
+        name: str = "tde",
+        *,
+        options: PlannerOptions | None = None,
+        batch_size: int = 8192,
+    ):
+        self.database = Database(name)
+        self.catalog = StorageCatalog(self.database)
+        self.options = options or PlannerOptions()
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------ #
+    # Loading and metadata
+    # ------------------------------------------------------------------ #
+    def create_table(self, name: str, table: Table, *, replace: bool = False) -> None:
+        """Register a pre-built storage table under ``schema.table``."""
+        self.database.add_table(name, table, replace=replace)
+
+    def load_pydict(
+        self,
+        name: str,
+        data: Mapping[str, Sequence[Any]],
+        *,
+        sort_keys: Sequence[str] = (),
+        replace: bool = False,
+        **kwargs: Any,
+    ) -> Table:
+        """Build a table from Python values and register it."""
+        table = Table.from_pydict(data, sort_keys=sort_keys, name=name, **kwargs)
+        self.create_table(name, table, replace=replace)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.database.drop_table(name)
+
+    def table(self, name: str) -> Table:
+        return self.database.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.database.has_table(name)
+
+    def declare_unique(self, table: str, columns: Sequence[str]) -> None:
+        """Declare a unique key, enabling join-culling rewrites."""
+        self.catalog.declare_unique(table, tuple(columns))
+
+    def declare_foreign_key(
+        self,
+        child: str,
+        fk_columns: Sequence[str],
+        parent: str,
+        key_columns: Sequence[str],
+        *,
+        total: bool = True,
+        onto: bool = False,
+    ) -> None:
+        """Declare a foreign key (see :class:`ForeignKey` for semantics)."""
+        self.catalog.declare_foreign_key(
+            child, fk_columns, parent, key_columns, total=total, onto=onto
+        )
+
+    # ------------------------------------------------------------------ #
+    # Querying
+    # ------------------------------------------------------------------ #
+    def parse(self, tql: str) -> LogicalPlan:
+        return parse_tql(tql)
+
+    def plan(
+        self, query: str | LogicalPlan, *, options: PlannerOptions | None = None
+    ) -> PhysNode:
+        """Compile a TQL query to a physical plan without executing it."""
+        logical = self.parse(query) if isinstance(query, str) else query
+        return plan_query(logical, self.catalog, options or self.options)
+
+    def query(
+        self,
+        query: str | LogicalPlan,
+        *,
+        options: PlannerOptions | None = None,
+        context: ExecContext | None = None,
+    ) -> Table:
+        """Compile, optimize, and execute a query; return the result table."""
+        physical = self.plan(query, options=options)
+        ctx = context or ExecContext(batch_size=self.batch_size)
+        return execute_to_table(physical, ctx)
+
+    def query_naive(self, query: str | LogicalPlan) -> Table:
+        """Execute with every optimization disabled (testing baseline).
+
+        The logical plan is interpreted operator-by-operator with no
+        rewrites, no parallelism, and no encoding-aware scans — the
+        reference semantics the optimized paths must match.
+        """
+        logical = self.parse(query) if isinstance(query, str) else query
+        naive_options = PlannerOptions(
+            max_dop=1,
+            enable_parallel=False,
+            enable_rle_index=False,
+            enable_local_global_agg=False,
+            enable_range_partition_agg=False,
+            enable_streaming_agg=False,
+        )
+        physical = plan_query(logical, self.catalog, naive_options, rewrite=False)
+        return execute_to_table(physical, ExecContext(batch_size=self.batch_size, parallel=False))
+
+    def explain(self, query: str | LogicalPlan, *, options: PlannerOptions | None = None) -> str:
+        """Human-readable physical plan (one operator per line)."""
+        physical = self.plan(query, options=options)
+        return render_plan(physical)
+
+    def rewrite(self, query: str | LogicalPlan) -> LogicalPlan:
+        """Expose the logical rewrite pipeline (for tests and tools)."""
+        logical = self.parse(query) if isinstance(query, str) else query
+        return rewrite_logical(logical, self.catalog)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> None:
+        """Pack the whole database into a single file."""
+        pack_database(self.database, path)
+
+    @classmethod
+    def open(cls, path: str | Path, *, options: PlannerOptions | None = None) -> "DataEngine":
+        """Load an engine from a packed single-file database."""
+        db = unpack_database(path)
+        engine = cls(db.name, options=options)
+        engine.database = db
+        engine.catalog = StorageCatalog(db)
+        return engine
+
+
+def render_plan(node: PhysNode, indent: int = 0) -> str:
+    """Render a physical operator tree, one line per operator."""
+    pad = "  " * indent
+    label = _node_label(node)
+    lines = [f"{pad}{label}"]
+    for child in node.children():
+        lines.append(render_plan(child, indent + 1))
+    return "\n".join(lines)
+
+
+def _node_label(node: PhysNode) -> str:
+    if isinstance(node, PScan):
+        stop = node.table.n_rows if node.stop is None else node.stop
+        pred = " filtered" if node.predicate is not None else ""
+        return f"Scan[{node.start}:{stop}]{pred} {node.table.name or ''}".rstrip()
+    if isinstance(node, PIndexedRleScan):
+        return f"IndexedRleScan({node.column}) {node.table.name or ''}".rstrip()
+    if isinstance(node, PFilter):
+        return "Filter"
+    if isinstance(node, PProject):
+        return f"Project({', '.join(n for n, _ in node.items)})"
+    if isinstance(node, PHashJoin):
+        conds = ", ".join(f"{l}={r}" for l, r in node.conditions)
+        return f"HashJoin[{node.kind}]({conds})"
+    if isinstance(node, PHashAggregate):
+        return f"HashAggregate(by {', '.join(node.groupby) or '<none>'})"
+    if isinstance(node, PStreamAggregate):
+        return f"StreamAggregate(by {', '.join(node.groupby) or '<none>'})"
+    if isinstance(node, PSort):
+        return f"Sort({', '.join(k for k, _ in node.keys)})"
+    if type(node).__name__ == "PWindow":
+        return f"Window({', '.join(i.alias for i in node.items)})"
+    if type(node).__name__ == "PMergeSorted":
+        return f"MergeSorted(degree={node.degree})"
+    if isinstance(node, PTopN):
+        return f"TopN({node.n})"
+    if isinstance(node, PLimit):
+        return f"Limit({node.n})"
+    if isinstance(node, PExchange):
+        return f"Exchange(degree={node.degree})"
+    if isinstance(node, SharedBuild):
+        return "SharedTable"
+    if isinstance(node, PSingleRow):
+        return "SingleRow"
+    return type(node).__name__

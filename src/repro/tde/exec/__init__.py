@@ -1,0 +1,47 @@
+"""Volcano-style vectorized execution engine (paper 4.1.3, 4.2).
+
+Physical operators pull batches (small Tables) from their children.
+Operators are *streaming* (Filter, Project, Limit, the probe side of
+HashJoin) or *stop-and-go* (Sort, TopN, HashAggregate, the build side of
+HashJoin). Parallelism uses the Exchange / SharedTable / FractionTable
+trio from paper 4.2.1 (``exchange.py``).
+"""
+
+from .physical import (
+    ExecContext,
+    PhysNode,
+    PScan,
+    PIndexedRleScan,
+    PFilter,
+    PProject,
+    PHashJoin,
+    PHashAggregate,
+    PStreamAggregate,
+    PSort,
+    PTopN,
+    PLimit,
+    PSingleRow,
+    execute_to_table,
+)
+from .exchange import PExchange, PMergeSorted, SharedBuild, FractionTable
+
+__all__ = [
+    "ExecContext",
+    "PhysNode",
+    "PScan",
+    "PIndexedRleScan",
+    "PFilter",
+    "PProject",
+    "PHashJoin",
+    "PHashAggregate",
+    "PStreamAggregate",
+    "PSort",
+    "PTopN",
+    "PLimit",
+    "PSingleRow",
+    "PExchange",
+    "PMergeSorted",
+    "SharedBuild",
+    "FractionTable",
+    "execute_to_table",
+]

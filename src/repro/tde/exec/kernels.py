@@ -1,0 +1,306 @@
+"""Vectorized kernels shared by aggregation and join operators.
+
+The central primitive is *factorization*: mapping rows to dense group ids
+over one or more key columns, NULL keys getting their own group. Both the
+hash aggregate and the hash join are built on it, so collation-aware string
+grouping (via dictionary codes ordered by collation) comes for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ...datatypes import LogicalType
+from ...errors import ExecutionError
+from ..storage.column import Column
+from ..storage.table import Table
+from ..storage.vectors import PlainVector
+
+
+# ---------------------------------------------------------------------- #
+# Factorization
+# ---------------------------------------------------------------------- #
+def _column_codes(values: np.ndarray, mask: np.ndarray | None) -> tuple[np.ndarray, int]:
+    """Dense codes for one key column; NULL becomes the highest code."""
+    if values.dtype == object:
+        uniq, codes = np.unique(values.astype("U"), return_inverse=True)
+        codes = codes.astype(np.int64)
+        card = len(uniq)
+    else:
+        uniq, codes = np.unique(values, return_inverse=True)
+        codes = codes.astype(np.int64)
+        card = len(uniq)
+    if mask is not None and mask.any():
+        codes = codes.copy()
+        codes[mask] = card
+        card += 1
+    return codes, card
+
+
+def factorize_table(table: Table, keys: list[str]) -> tuple[np.ndarray, int, np.ndarray]:
+    """Assign each row a dense group id over ``keys``.
+
+    Returns ``(gids, n_groups, representatives)`` where ``representatives``
+    holds, per group, the index of its first occurrence in row order —
+    used to gather the output key values.
+    """
+    pairs = []
+    for key in keys:
+        col = table.column(key)
+        if col.is_dictionary_encoded:
+            # Dictionary codes already identify values up to collation.
+            raw = col.physical.materialize().astype(np.int64)
+            card = len(col.dictionary)
+            if col.null_mask is not None and col.null_mask.any():
+                raw = raw.copy()
+                raw[col.null_mask] = card
+                card += 1
+            pairs.append((raw, card))
+        else:
+            pairs.append(_column_codes(col.storage_values(), col.null_mask))
+    return combine_codes(pairs, table.n_rows)
+
+
+def combine_codes(pairs: list[tuple[np.ndarray, int]], n_rows: int):
+    """Collapse multiple per-column code arrays into dense group ids."""
+    if not pairs:
+        gids = np.zeros(n_rows, dtype=np.int64)
+        reps = np.zeros(1, dtype=np.int64) if n_rows else np.zeros(0, dtype=np.int64)
+        return gids, (1 if n_rows else 0), reps
+    combined = pairs[0][0].astype(np.int64)
+    for codes, card in pairs[1:]:
+        combined = combined * card + codes
+    uniq, reps, gids = np.unique(combined, return_index=True, return_inverse=True)
+    return gids.astype(np.int64), len(uniq), reps.astype(np.int64)
+
+
+def key_arrays(table: Table, keys: list[str]) -> list[tuple[np.ndarray, np.ndarray | None]]:
+    """Raw (values, mask) pairs for join-key comparison across tables."""
+    out = []
+    for key in keys:
+        col = table.column(key)
+        out.append((col.storage_values(), col.null_mask))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Aggregation
+# ---------------------------------------------------------------------- #
+@dataclass
+class AggSpec:
+    """A planned aggregate: function + pre-evaluated argument column name.
+
+    The physical planner projects aggregate arguments into columns before
+    aggregation, so kernels only see column names.
+    """
+
+    name: str
+    func: str  # sum|min|max|avg|count|count_distinct|count_star
+    arg: str | None
+    result_type: LogicalType
+
+
+def aggregate_groups(
+    table: Table, gids: np.ndarray, n_groups: int, specs: list[AggSpec]
+) -> dict[str, Column]:
+    """Compute aggregate output columns for factorized input rows."""
+    out: dict[str, Column] = {}
+    for spec in specs:
+        out[spec.name] = _aggregate_one(table, gids, n_groups, spec)
+    return out
+
+
+def _aggregate_one(table: Table, gids: np.ndarray, k: int, spec: AggSpec) -> Column:
+    if spec.func == "count_star":
+        counts = np.bincount(gids, minlength=k).astype(np.int64)
+        return Column(LogicalType.INT, PlainVector(counts))
+    col = table.column(spec.arg)
+    values = col.storage_values()
+    mask = col.null_mask
+    valid = np.ones(len(values), dtype=np.bool_) if mask is None else ~mask
+    vg = gids[valid]
+    vv = values[valid]
+    nonnull = np.bincount(vg, minlength=k).astype(np.int64)
+    if spec.func == "count":
+        return Column(LogicalType.INT, PlainVector(nonnull))
+    if spec.func == "count_distinct":
+        if vv.dtype == object:
+            pair_codes, _ = _column_codes(vv, None)
+        else:
+            _, pair_codes = np.unique(vv, return_inverse=True)
+        combined = vg * (int(pair_codes.max()) + 1 if len(pair_codes) else 1) + pair_codes
+        uniq_pairs = np.unique(combined)
+        distinct_gids = uniq_pairs // (int(pair_codes.max()) + 1 if len(pair_codes) else 1)
+        counts = np.bincount(distinct_gids.astype(np.int64), minlength=k).astype(np.int64)
+        return Column(LogicalType.INT, PlainVector(counts))
+    null_groups = nonnull == 0
+    group_mask = null_groups if null_groups.any() else None
+    if spec.func == "sum":
+        if spec.result_type is LogicalType.INT:
+            sums = np.zeros(k, dtype=np.int64)
+            np.add.at(sums, vg, vv.astype(np.int64))
+        else:
+            sums = np.bincount(vg, weights=vv.astype(np.float64), minlength=k)
+        return Column(spec.result_type, PlainVector(sums.astype(spec.result_type.numpy_dtype())), null_mask=group_mask)
+    if spec.func == "avg":
+        sums = np.bincount(vg, weights=vv.astype(np.float64), minlength=k)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            avgs = np.where(nonnull > 0, sums / np.maximum(nonnull, 1), 0.0)
+        return Column(LogicalType.FLOAT, PlainVector(avgs), null_mask=group_mask)
+    if spec.func in ("min", "max"):
+        return _minmax(vg, vv, k, spec, group_mask, col)
+    raise ExecutionError(f"unknown aggregate {spec.func}")
+
+
+def _minmax(vg, vv, k, spec: AggSpec, group_mask, col: Column) -> Column:
+    if vv.dtype == object:
+        fill: Any = None
+        out = np.empty(k, dtype=object)
+        out[:] = fill
+        if spec.func == "min":
+            for g, v in zip(vg, vv):
+                cur = out[g]
+                if cur is None or v < cur:
+                    out[g] = v
+        else:
+            for g, v in zip(vg, vv):
+                cur = out[g]
+                if cur is None or v > cur:
+                    out[g] = v
+        for i in range(k):
+            if out[i] is None:
+                out[i] = ""
+        return Column(spec.result_type, PlainVector(out), null_mask=group_mask, collation=col.collation)
+    if vv.dtype == np.bool_:
+        vv = vv.astype(np.int64)
+    if spec.func == "min":
+        init = np.iinfo(np.int64).max if vv.dtype.kind == "i" else np.inf
+        out = np.full(k, init, dtype=vv.dtype)
+        np.minimum.at(out, vg, vv)
+    else:
+        init = np.iinfo(np.int64).min if vv.dtype.kind == "i" else -np.inf
+        out = np.full(k, init, dtype=vv.dtype)
+        np.maximum.at(out, vg, vv)
+    if group_mask is not None:
+        out[group_mask] = 0
+    if spec.result_type is LogicalType.BOOL:
+        out = out.astype(np.bool_)
+    return Column(spec.result_type, PlainVector(out.astype(spec.result_type.numpy_dtype(), copy=False)), null_mask=group_mask)
+
+
+# ---------------------------------------------------------------------- #
+# Join probe
+# ---------------------------------------------------------------------- #
+@dataclass
+class BuildIndex:
+    """Hash-table analogue: sorted build rows grouped by key.
+
+    ``uniq_keys`` holds one merged key row per distinct build key (as a
+    list of per-column sorted unique arrays is not enough for multi-column
+    keys, we re-factorize probe batches against the *combined* build key
+    codes via per-column searchsorted translation).
+    """
+
+    per_column_uniques: list[np.ndarray]
+    combined_codes: np.ndarray  # sorted distinct combined codes
+    starts: np.ndarray  # group start offsets into `order`
+    counts: np.ndarray
+    order: np.ndarray  # build row indices sorted by combined code
+    cards: list[int]
+
+
+def build_index(build: Table, keys: list[str]) -> BuildIndex:
+    """Index the build side of a hash join on its key columns."""
+    per_col_uniq: list[np.ndarray] = []
+    per_col_codes: list[np.ndarray] = []
+    cards: list[int] = []
+    valid = np.ones(build.n_rows, dtype=np.bool_)
+    for key in keys:
+        col = build.column(key)
+        if col.null_mask is not None:
+            valid &= ~col.null_mask  # NULL keys never join
+    for key in keys:
+        col = build.column(key)
+        values = col.storage_values()
+        if values.dtype == object:
+            sort_vals = values.astype("U")
+        else:
+            sort_vals = values
+        uniq, codes = np.unique(sort_vals[valid], return_inverse=True)
+        per_col_uniq.append(uniq)
+        full_codes = np.zeros(build.n_rows, dtype=np.int64)
+        full_codes[valid] = codes
+        per_col_codes.append(full_codes)
+        cards.append(max(len(uniq), 1))
+    combined = np.zeros(build.n_rows, dtype=np.int64)
+    for codes, card in zip(per_col_codes, cards):
+        combined = combined * card + codes
+    combined = combined[valid]
+    row_ids = np.flatnonzero(valid)
+    order_local = np.argsort(combined, kind="stable")
+    sorted_codes = combined[order_local]
+    uniq_codes, starts, counts = _group_boundaries(sorted_codes)
+    return BuildIndex(per_col_uniq, uniq_codes, starts, counts, row_ids[order_local], cards)
+
+
+def _group_boundaries(sorted_codes: np.ndarray):
+    if len(sorted_codes) == 0:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z, z
+    change = np.empty(len(sorted_codes), dtype=np.bool_)
+    change[0] = True
+    np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=change[1:])
+    starts = np.flatnonzero(change)
+    uniq = sorted_codes[starts]
+    counts = np.diff(np.concatenate((starts, [len(sorted_codes)])))
+    return uniq, starts.astype(np.int64), counts.astype(np.int64)
+
+
+def probe_index(
+    index: BuildIndex, probe: Table, keys: list[str]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Probe a batch against the build index.
+
+    Returns ``(probe_rows, build_rows, matched_mask)``: matched row pairs
+    (with multiplicity) plus a per-probe-row flag used by left joins.
+    """
+    n = probe.n_rows
+    ok = np.ones(n, dtype=np.bool_)
+    combined = np.zeros(n, dtype=np.int64)
+    for key, uniq, card in zip(keys, index.per_column_uniques, index.cards):
+        col = probe.column(key)
+        values = col.storage_values()
+        if values.dtype == object:
+            values = values.astype("U")
+        if col.null_mask is not None:
+            ok &= ~col.null_mask
+        pos = np.searchsorted(uniq, values)
+        pos_clipped = np.clip(pos, 0, max(len(uniq) - 1, 0))
+        if len(uniq):
+            hit = uniq[pos_clipped] == values
+        else:
+            hit = np.zeros(n, dtype=np.bool_)
+        ok &= hit
+        combined = combined * card + np.where(hit, pos_clipped, 0)
+    slot = np.searchsorted(index.combined_codes, combined)
+    slot_clipped = np.clip(slot, 0, max(len(index.combined_codes) - 1, 0))
+    if len(index.combined_codes):
+        ok &= index.combined_codes[slot_clipped] == combined
+    else:
+        ok &= False
+    matched_rows = np.flatnonzero(ok)
+    if len(matched_rows) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, ok
+    grp = slot_clipped[matched_rows]
+    counts = index.counts[grp]
+    starts = index.starts[grp]
+    total = int(counts.sum())
+    probe_rows = np.repeat(matched_rows, counts)
+    excl = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(excl, counts)
+    build_rows = index.order[np.repeat(starts, counts) + offsets]
+    return probe_rows, build_rows, ok

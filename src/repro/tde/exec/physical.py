@@ -1,0 +1,614 @@
+"""Physical operators of the TDE execution engine.
+
+Each operator's ``execute(ctx)`` yields batches (``Table`` objects). The
+contract: every stream yields at least one batch (possibly empty) so that
+consumers always learn the schema; NULL semantics follow SQL; operators
+never mutate input batches.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ...datatypes import LogicalType
+from ...errors import ExecutionError
+from ...expr.ast import ColumnRef, Expr, infer_type
+from ...expr.eval import evaluate, evaluate_predicate
+from ..storage.column import Column
+from ..storage.table import Table
+from ..storage.vectors import PlainVector, RleVector
+from .kernels import AggSpec, aggregate_groups, build_index, factorize_table, probe_index
+
+
+class Metrics:
+    """Thread-safe execution counters (batch granularity)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.rows_scanned = 0
+        self.rows_emitted = 0
+        self.batches = 0
+        self.runs_skipped = 0
+
+    def add(self, **deltas: int) -> None:
+        with self._lock:
+            for key, delta in deltas.items():
+                setattr(self, key, getattr(self, key) + delta)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "rows_scanned": self.rows_scanned,
+                "rows_emitted": self.rows_emitted,
+                "batches": self.batches,
+                "runs_skipped": self.runs_skipped,
+            }
+
+
+@dataclass
+class ExecContext:
+    """Per-query execution context."""
+
+    batch_size: int = 8192
+    parallel: bool = True
+    metrics: Metrics = field(default_factory=Metrics)
+
+
+class PhysNode:
+    """Base class for physical operators."""
+
+    def children(self) -> tuple["PhysNode", ...]:
+        return ()
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:  # pragma: no cover
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["PhysNode"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def execute_to_table(node: PhysNode, ctx: ExecContext | None = None) -> Table:
+    """Run a physical plan to completion and concatenate its batches."""
+    ctx = ctx or ExecContext()
+    batches = list(node.execute(ctx))
+    if not batches:
+        raise ExecutionError("operator produced no batches (broken contract)")
+    return Table.concat(batches) if len(batches) > 1 else batches[0]
+
+
+# ---------------------------------------------------------------------- #
+# Scans
+# ---------------------------------------------------------------------- #
+@dataclass
+class PScan(PhysNode):
+    """Scan a storage table, optionally a row range of it (FractionTable).
+
+    ``start``/``stop`` delimit the fraction this scan reads — the
+    partitioning mechanism behind parallel table scans (paper 4.2.1).
+    ``predicate`` is a pushed-down scan filter; ``columns`` prunes output.
+    """
+
+    table: Table
+    columns: list[str] | None = None
+    predicate: Expr | None = None
+    start: int = 0
+    stop: int | None = None
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        stop = self.table.n_rows if self.stop is None else self.stop
+        start = self.start
+        emitted = False
+        needed = self._needed_columns()
+        while start < stop:
+            end = min(start + ctx.batch_size, stop)
+            batch = self.table.slice(start, end)
+            ctx.metrics.add(rows_scanned=end - start, batches=1)
+            if self.predicate is not None:
+                keep = evaluate_predicate(self.predicate, batch)
+                batch = batch.filter(keep)
+            if needed is not None:
+                batch = batch.project(needed)
+            if batch.n_rows or not emitted:
+                emitted = True
+                ctx.metrics.add(rows_emitted=batch.n_rows)
+                yield batch
+            start = end
+        if not emitted:
+            empty = self.table.slice(0, 0)
+            if needed is not None:
+                empty = empty.project(needed)
+            yield empty
+
+    def _needed_columns(self) -> list[str] | None:
+        return list(self.columns) if self.columns is not None else None
+
+
+@dataclass
+class PIndexedRleScan(PhysNode):
+    """Range-skipping scan over an RLE-encoded column (paper 4.3).
+
+    The RLE runs of ``column`` form an IndexTable (value, count, start);
+    ``predicate`` (which references only ``column``) filters the runs, and
+    only the surviving row ranges of the main table are read. ``residual``
+    is applied to the scanned rows afterwards.
+    """
+
+    table: Table
+    column: str
+    predicate: Expr
+    residual: Expr | None = None
+    columns: list[str] | None = None
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        col = self.table.column(self.column)
+        vec = col.physical
+        if not isinstance(vec, RleVector):
+            # Planner should not have chosen this operator; degrade safely.
+            fallback_pred = self.predicate
+            if self.residual is not None:
+                from ...expr.ast import Call
+
+                fallback_pred = Call("and", (self.predicate, self.residual))
+            yield from PScan(self.table, self.columns, fallback_pred).execute(ctx)
+            return
+        values, counts, starts = vec.index_table()
+        decoded = col.dictionary.decode(values) if col.dictionary is not None else values
+        index_tbl = Table(
+            {self.column: Column(col.ltype, PlainVector(decoded), collation=col.collation)}
+        )
+        keep = evaluate_predicate(self.predicate, index_tbl)
+        selected = np.flatnonzero(keep)
+        ctx.metrics.add(runs_skipped=int(len(values) - len(selected)))
+        emitted = False
+        needed = list(self.columns) if self.columns is not None else None
+        for run_idx in selected:
+            run_start = int(starts[run_idx])
+            run_stop = run_start + int(counts[run_idx])
+            pos = run_start
+            while pos < run_stop:
+                end = min(pos + ctx.batch_size, run_stop)
+                batch = self.table.slice(pos, end)
+                ctx.metrics.add(rows_scanned=end - pos, batches=1)
+                if self.residual is not None:
+                    batch = batch.filter(evaluate_predicate(self.residual, batch))
+                if needed is not None:
+                    batch = batch.project(needed)
+                if batch.n_rows or not emitted:
+                    emitted = True
+                    ctx.metrics.add(rows_emitted=batch.n_rows)
+                    yield batch
+                pos = end
+        if not emitted:
+            empty = self.table.slice(0, 0)
+            if needed is not None:
+                empty = empty.project(needed)
+            yield empty
+
+
+@dataclass
+class PSingleRow(PhysNode):
+    """Emit one pre-built table (used for constant inputs and tests)."""
+
+    table: Table
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        yield self.table
+
+
+# ---------------------------------------------------------------------- #
+# Streaming operators
+# ---------------------------------------------------------------------- #
+@dataclass
+class PFilter(PhysNode):
+    child: PhysNode
+    predicate: Expr
+
+    def children(self) -> tuple[PhysNode, ...]:
+        return (self.child,)
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        for batch in self.child.execute(ctx):
+            yield batch.filter(evaluate_predicate(self.predicate, batch))
+
+
+@dataclass
+class PProject(PhysNode):
+    child: PhysNode
+    items: list[tuple[str, Expr]]
+
+    def children(self) -> tuple[PhysNode, ...]:
+        return (self.child,)
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        types: dict[str, LogicalType] | None = None
+        for batch in self.child.execute(ctx):
+            if types is None:
+                schema = batch.schema()
+                types = {name: infer_type(expr, schema) for name, expr in self.items}
+            cols: dict[str, Column] = {}
+            for name, expr in self.items:
+                if isinstance(expr, ColumnRef):
+                    source = batch.column(expr.name)
+                    cols[name] = source
+                    continue
+                values, mask = evaluate(expr, batch)
+                cols[name] = Column(
+                    types[name],
+                    PlainVector(np.asarray(values)),
+                    null_mask=mask,
+                )
+            yield Table(cols)
+
+
+@dataclass
+class PLimit(PhysNode):
+    child: PhysNode
+    n: int
+
+    def children(self) -> tuple[PhysNode, ...]:
+        return (self.child,)
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        remaining = self.n
+        emitted = False
+        for batch in self.child.execute(ctx):
+            if remaining <= 0:
+                if not emitted:
+                    yield batch.slice(0, 0)
+                    emitted = True
+                break
+            out = batch if batch.n_rows <= remaining else batch.slice(0, remaining)
+            remaining -= out.n_rows
+            emitted = True
+            yield out
+        if not emitted:
+            raise ExecutionError("limit received no batches")
+
+
+# ---------------------------------------------------------------------- #
+# Hash join
+# ---------------------------------------------------------------------- #
+@dataclass
+class PHashJoin(PhysNode):
+    """Hash join: builds on the right input, probes with the left.
+
+    "The TDE's execution engine processes the join by building a hash
+    table for the right-side input, and probing the left-side input for
+    matches." (paper 4.2.2). ``build_source`` may be a ``SharedBuild`` so
+    parallel fragments share a single hash table.
+    """
+
+    kind: str
+    conditions: list[tuple[str, str]]
+    probe: PhysNode
+    build_source: "PhysNode"
+
+    def children(self) -> tuple[PhysNode, ...]:
+        return (self.probe, self.build_source)
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        from .exchange import SharedBuild
+
+        if isinstance(self.build_source, SharedBuild):
+            build_table = self.build_source.get(ctx)
+        else:
+            build_table = execute_to_table(self.build_source, ctx)
+        left_keys = [l for l, _ in self.conditions]
+        right_keys = [r for _, r in self.conditions]
+        index = build_index(build_table, right_keys)
+        right_out = [c for c in build_table.column_names if c not in set(right_keys)]
+        for batch in self.probe.execute(ctx):
+            yield self._join_batch(batch, build_table, index, left_keys, right_out)
+
+    def _join_batch(self, batch: Table, build_table: Table, index, left_keys, right_out) -> Table:
+        probe_rows, build_rows, matched = probe_index(index, batch, left_keys)
+        if self.kind == "left":
+            unmatched = np.flatnonzero(~matched)
+        else:
+            unmatched = np.zeros(0, dtype=np.int64)
+        cols: dict[str, Column] = {}
+        all_probe = np.concatenate((probe_rows, unmatched)) if len(unmatched) else probe_rows
+        left_part = batch.take(all_probe)
+        for name in batch.column_names:
+            cols[name] = left_part.column(name)
+        n_matched = len(probe_rows)
+        n_total = n_matched + len(unmatched)
+        for name in right_out:
+            col = build_table.column(name)
+            taken = col.take(build_rows) if n_matched else col.slice(0, 0)
+            if len(unmatched) == 0:
+                cols[name] = taken
+                continue
+            values = np.concatenate(
+                (
+                    taken.storage_values(),
+                    np.full(len(unmatched), col.ltype.fill_value(), dtype=col.ltype.numpy_dtype())
+                    if col.ltype is not LogicalType.STR
+                    else _object_fill(len(unmatched)),
+                )
+            )
+            mask = np.zeros(n_total, dtype=np.bool_)
+            if taken.null_mask is not None:
+                mask[:n_matched] = taken.null_mask
+            mask[n_matched:] = True
+            cols[name] = Column(col.ltype, PlainVector(values), null_mask=mask, collation=col.collation)
+        return Table(cols)
+
+
+def _object_fill(n: int) -> np.ndarray:
+    arr = np.empty(n, dtype=object)
+    arr[:] = ""
+    return arr
+
+
+# ---------------------------------------------------------------------- #
+# Aggregation
+# ---------------------------------------------------------------------- #
+@dataclass
+class PHashAggregate(PhysNode):
+    """Stop-and-go hash aggregation over factorized keys."""
+
+    child: PhysNode
+    groupby: list[str]
+    specs: list[AggSpec]
+
+    def children(self) -> tuple[PhysNode, ...]:
+        return (self.child,)
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        source = execute_to_table(self.child, ctx)
+        yield aggregate_table(source, self.groupby, self.specs)
+
+
+def aggregate_table(source: Table, groupby: list[str], specs: list[AggSpec]) -> Table:
+    """Aggregate a fully materialized input (shared with stream agg)."""
+    if source.n_rows == 0 and not groupby:
+        return _empty_input_aggregate(source, specs)
+    gids, n_groups, reps = factorize_table(source, list(groupby))
+    cols: dict[str, Column] = {}
+    key_part = source.take(reps)
+    for key in groupby:
+        cols[key] = key_part.column(key)
+    cols.update(aggregate_groups(source, gids, n_groups, list(specs)))
+    return Table(cols)
+
+
+def _empty_input_aggregate(source: Table, specs: list[AggSpec]) -> Table:
+    """SQL: a global aggregate over zero rows yields exactly one row."""
+    cols: dict[str, Column] = {}
+    for spec in specs:
+        if spec.func in ("count", "count_star", "count_distinct"):
+            cols[spec.name] = Column(LogicalType.INT, PlainVector(np.zeros(1, dtype=np.int64)))
+        else:
+            fill = np.full(1, spec.result_type.fill_value(), dtype=spec.result_type.numpy_dtype())
+            if spec.result_type is LogicalType.STR:
+                fill = _object_fill(1)
+            cols[spec.name] = Column(
+                spec.result_type, PlainVector(fill), null_mask=np.ones(1, dtype=np.bool_)
+            )
+    return Table(cols)
+
+
+@dataclass
+class PStreamAggregate(PhysNode):
+    """Streaming aggregation for inputs sorted (grouped) by the keys.
+
+    Emits each group as soon as the next key value arrives — the streaming
+    implementation the optimizer prefers when sorting properties allow
+    (paper 4.2.4). Holds only the current group's rows.
+    """
+
+    child: PhysNode
+    groupby: list[str]
+    specs: list[AggSpec]
+
+    def children(self) -> tuple[PhysNode, ...]:
+        return (self.child,)
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        carry: Table | None = None
+        emitted = False
+        for batch in self.child.execute(ctx):
+            if batch.n_rows == 0:
+                continue
+            merged = Table.concat([carry, batch]) if carry is not None and carry.n_rows else batch
+            boundary = self._last_boundary(merged)
+            if boundary == 0:
+                carry = merged
+                continue
+            complete = merged.slice(0, boundary)
+            carry = merged.slice(boundary, merged.n_rows)
+            out = aggregate_table(complete, self.groupby, self.specs)
+            emitted = True
+            yield out
+        if carry is not None and carry.n_rows:
+            yield aggregate_table(carry, self.groupby, self.specs)
+        elif not emitted:
+            yield aggregate_table(
+                carry if carry is not None else _empty_schema_guess(), self.groupby, self.specs
+            )
+
+    def _last_boundary(self, table: Table) -> int:
+        """Index of the first row of the last (still open) group."""
+        change = np.zeros(table.n_rows, dtype=np.bool_)
+        for key in self.groupby:
+            col = table.column(key)
+            values = col.storage_values()
+            if values.dtype == object:
+                values = values.astype("U")
+            change[1:] |= values[1:] != values[:-1]
+            if col.null_mask is not None:
+                change[1:] |= col.null_mask[1:] != col.null_mask[:-1]
+        boundaries = np.flatnonzero(change)
+        return int(boundaries[-1]) if len(boundaries) else 0
+
+
+def _empty_schema_guess() -> Table:
+    raise ExecutionError("stream aggregate received no batches")
+
+
+# ---------------------------------------------------------------------- #
+# Ordering
+# ---------------------------------------------------------------------- #
+@dataclass
+class PWindow(PhysNode):
+    """Window/table calculations over partitions (paper §1's "window and
+    statistical functions").
+
+    Stop-and-go: materializes its input, orders it by the first item's
+    (partition, order) addressing, and appends one column per item. Each
+    item may use its own partition/order addressing; values are computed
+    along that ordering and scattered back to the output row positions.
+    """
+
+    child: PhysNode
+    items: list  # list[WindowItem]
+
+    def children(self) -> tuple[PhysNode, ...]:
+        return (self.child,)
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        from ..tql.binder import _window_type
+
+        source = execute_to_table(self.child, ctx)
+        first = self.items[0]
+        base_keys = [(p, True) for p in first.partition_by] + list(first.order_by)
+        table = source.sort_by(base_keys) if base_keys else source
+        schema = table.schema()
+        for item in self.items:
+            values = self._compute(item, table)
+            ltype = _window_type(item, schema)
+            column = Column.from_values(values, ltype, compress=False)
+            table = table.with_column(item.alias, column)
+            schema[item.alias] = ltype
+        yield table
+
+    def _compute(self, item, table: Table) -> list:
+        n = table.n_rows
+        if n == 0:
+            return []
+        keys = [(p, True) for p in item.partition_by] + list(item.order_by)
+        if keys:
+            tagged = table.with_column(
+                "__rowid",
+                Column(
+                    LogicalType.INT,
+                    PlainVector(np.arange(n, dtype=np.int64)),
+                ),
+            )
+            ordered = tagged.sort_by(keys)
+            positions = ordered.column("__rowid").storage_values()
+        else:
+            ordered = table
+            positions = np.arange(n, dtype=np.int64)
+        partition_cols = [ordered.column(p).python_values() for p in item.partition_by]
+        order_cols = [ordered.column(k).python_values() for k, _a in item.order_by]
+        if item.arg is not None:
+            arg_values, arg_mask = evaluate(item.arg, ordered)
+            args = [
+                None if (arg_mask is not None and arg_mask[i]) else arg_values[i]
+                for i in range(n)
+            ]
+        else:
+            args = [None] * n
+        out: list = [None] * n
+        start = 0
+        while start < n:
+            stop = start
+            while stop < n and all(
+                col[stop] == col[start] for col in partition_cols
+            ):
+                stop += 1
+            self._fill_partition(item, args, order_cols, positions, out, start, stop)
+            start = stop
+        return out
+
+    @staticmethod
+    def _fill_partition(item, args, order_cols, positions, out, start, stop) -> None:
+        span = range(start, stop)
+        if item.func == "row_number":
+            for offset, i in enumerate(span):
+                out[positions[i]] = offset + 1
+        elif item.func == "rank":
+            rank = 0
+            for offset, i in enumerate(span):
+                if offset == 0 or any(
+                    col[i] != col[i - 1] for col in order_cols
+                ):
+                    rank = offset + 1
+                out[positions[i]] = rank
+        elif item.func in ("running_sum", "running_avg"):
+            total = 0.0
+            count = 0
+            for i in span:
+                if args[i] is not None:
+                    total += args[i]
+                    count += 1
+                if item.func == "running_sum":
+                    out[positions[i]] = total if count else None
+                else:
+                    out[positions[i]] = (total / count) if count else None
+        elif item.func in ("window_sum", "window_max", "window_min", "share"):
+            present = [args[i] for i in span if args[i] is not None]
+            if item.func == "window_sum":
+                value = sum(present) if present else None
+                for i in span:
+                    out[positions[i]] = value
+            elif item.func == "window_max":
+                value = max(present) if present else None
+                for i in span:
+                    out[positions[i]] = value
+            elif item.func == "window_min":
+                value = min(present) if present else None
+                for i in span:
+                    out[positions[i]] = value
+            else:  # share: percent of partition total
+                total = sum(present) if present else None
+                for i in span:
+                    if args[i] is None or not total:
+                        out[positions[i]] = None
+                    else:
+                        out[positions[i]] = args[i] / total
+        else:  # pragma: no cover - parser validates
+            raise ExecutionError(f"unknown window function {item.func}")
+
+
+@dataclass
+class PSort(PhysNode):
+    child: PhysNode
+    keys: list[tuple[str, bool]]
+
+    def children(self) -> tuple[PhysNode, ...]:
+        return (self.child,)
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        source = execute_to_table(self.child, ctx)
+        yield source.sort_by(list(self.keys))
+
+
+@dataclass
+class PTopN(PhysNode):
+    """Keep the first ``n`` rows under the ordering, with bounded memory."""
+
+    child: PhysNode
+    n: int
+    keys: list[tuple[str, bool]]
+
+    def children(self) -> tuple[PhysNode, ...]:
+        return (self.child,)
+
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        buffer: Table | None = None
+        for batch in self.child.execute(ctx):
+            buffer = batch if buffer is None else Table.concat([buffer, batch])
+            if buffer.n_rows > max(4 * self.n, 1024):
+                buffer = buffer.sort_by(list(self.keys)).head(self.n)
+        if buffer is None:
+            raise ExecutionError("topn received no batches")
+        yield buffer.sort_by(list(self.keys)).head(self.n)

@@ -1,0 +1,25 @@
+"""The TDE's rule-based optimizer (paper 4.1.2, 4.2).
+
+Pipeline: logical rewrites (``rules``: DISTINCT→GROUP BY, predicate
+simplification and pushdown, select merging), join culling (``culling``:
+unused-dimension removal and fact-table culling), property derivation
+(``properties``: sortedness, uniqueness), physical planning (``planner``:
+operator selection incl. streaming aggregates and the RLE IndexTable scan
+from ``decompression``), and parallel plan generation (``parallel``:
+Exchange insertion, local/global aggregation, range-partitioned
+aggregation per Lemmas 1–3).
+"""
+
+from .catalog import ForeignKey, StorageCatalog, TableMeta
+from .planner import PlannerOptions, plan_query
+from .rules import rewrite_logical, simplify_predicate
+
+__all__ = [
+    "StorageCatalog",
+    "TableMeta",
+    "ForeignKey",
+    "PlannerOptions",
+    "plan_query",
+    "rewrite_logical",
+    "simplify_predicate",
+]

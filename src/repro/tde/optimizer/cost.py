@@ -1,0 +1,149 @@
+"""Cost model: cardinality estimation and per-operator cost formulas.
+
+Costs are in abstract *work units* (one unit ≈ one simple arithmetic
+operation on one row). The same constants drive three consumers:
+
+* the physical planner's operator choices (streaming vs hash aggregate,
+  RLE index scan vs plain scan);
+* the parallel plan generator's degree-of-parallelism decision, including
+  the function cost profile ("the cost constants are obtained by empirical
+  measuring", paper 4.2.2);
+* the virtual-time machine (``repro.sim``) that replays physical plans on
+  a simulated multicore host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...expr.ast import AggExpr, Call, CaseWhen, Cast, ColumnRef, Expr, Literal
+from ...expr.functions import function_cost
+from ..tql.plan import (
+    Aggregate,
+    Distinct,
+    Join,
+    Limit,
+    LogicalPlan,
+    Order,
+    Project,
+    Select,
+    TableScan,
+    TopN,
+    Window,
+)
+from .catalog import StorageCatalog
+
+#: Per-row work-unit constants (empirically shaped, see bench_e8).
+SCAN_ROW = 1.0
+FILTER_ROW = 0.5
+PROJECT_ROW = 0.4
+JOIN_BUILD_ROW = 3.0
+JOIN_PROBE_ROW = 2.0
+AGG_HASH_ROW = 2.5
+AGG_STREAM_ROW = 1.2
+SORT_ROW_LOG = 1.4
+TOPN_ROW = 1.1
+EXCHANGE_ROW = 0.12
+EXCHANGE_SETUP = 2_000.0
+DEFAULT_SELECTIVITY = 0.25
+EQ_BASE_SELECTIVITY = 0.05
+
+
+def expr_cost(expr: Expr | AggExpr | None) -> float:
+    """Per-row cost weight of evaluating an expression tree."""
+    if expr is None:
+        return 0.0
+    if isinstance(expr, AggExpr):
+        return 1.0 + expr_cost(expr.arg)
+    total = 0.0
+    for node in expr.walk():
+        if isinstance(node, Call):
+            total += function_cost(node.func)
+            if node.func == "in":
+                lst = node.args[1]
+                if isinstance(lst, Literal) and isinstance(lst.value, tuple):
+                    total += 0.05 * len(lst.value)
+        elif isinstance(node, Cast):
+            total += 1.5
+        elif isinstance(node, CaseWhen):
+            total += 2.0
+        elif isinstance(node, (ColumnRef, Literal)):
+            total += 0.1
+    return total
+
+
+def estimate_selectivity(predicate: Expr, schema_rows: int | None = None) -> float:
+    """Crude textbook selectivity estimate for a predicate."""
+    if isinstance(predicate, Call):
+        if predicate.func == "and":
+            return min(1.0, estimate_selectivity(predicate.args[0]) * estimate_selectivity(predicate.args[1]))
+        if predicate.func == "or":
+            a = estimate_selectivity(predicate.args[0])
+            b = estimate_selectivity(predicate.args[1])
+            return min(1.0, a + b - a * b)
+        if predicate.func == "not":
+            return max(0.0, 1.0 - estimate_selectivity(predicate.args[0]))
+        if predicate.func == "=":
+            return EQ_BASE_SELECTIVITY
+        if predicate.func == "in":
+            lst = predicate.args[1]
+            k = len(lst.value) if isinstance(lst, Literal) and isinstance(lst.value, tuple) else 4
+            return min(1.0, EQ_BASE_SELECTIVITY * max(k, 1))
+        if predicate.func in ("<", "<=", ">", ">="):
+            return 0.3
+    return DEFAULT_SELECTIVITY
+
+
+@dataclass
+class CostEstimate:
+    rows: int
+    cost: float
+
+
+def estimate_plan(plan: LogicalPlan, catalog: StorageCatalog) -> CostEstimate:
+    """Estimate output cardinality and total serial work of a plan."""
+    import math
+
+    if isinstance(plan, TableScan):
+        rows = catalog.row_count(plan.table)
+        return CostEstimate(rows, rows * SCAN_ROW)
+    if isinstance(plan, Select):
+        child = estimate_plan(plan.child, catalog)
+        sel = estimate_selectivity(plan.predicate)
+        rows = max(1, int(child.rows * sel))
+        return CostEstimate(rows, child.cost + child.rows * (FILTER_ROW + expr_cost(plan.predicate)))
+    if isinstance(plan, Project):
+        child = estimate_plan(plan.child, catalog)
+        per_row = PROJECT_ROW + sum(expr_cost(e) for _, e in plan.items)
+        return CostEstimate(child.rows, child.cost + child.rows * per_row)
+    if isinstance(plan, Join):
+        left = estimate_plan(plan.left, catalog)
+        right = estimate_plan(plan.right, catalog)
+        rows = max(left.rows, 1)  # FK joins keep probe cardinality
+        cost = left.cost + right.cost + right.rows * JOIN_BUILD_ROW + left.rows * JOIN_PROBE_ROW
+        return CostEstimate(rows, cost)
+    if isinstance(plan, Aggregate):
+        child = estimate_plan(plan.child, catalog)
+        groups = max(1, min(child.rows, int(child.rows ** 0.75))) if plan.groupby else 1
+        per_row = AGG_HASH_ROW + sum(expr_cost(a) for _, a in plan.aggs)
+        return CostEstimate(groups, child.cost + child.rows * per_row)
+    if isinstance(plan, Distinct):
+        child = estimate_plan(plan.child, catalog)
+        groups = max(1, int(child.rows ** 0.75))
+        return CostEstimate(groups, child.cost + child.rows * AGG_HASH_ROW)
+    if isinstance(plan, Order):
+        child = estimate_plan(plan.child, catalog)
+        n = max(child.rows, 2)
+        return CostEstimate(child.rows, child.cost + n * math.log2(n) * SORT_ROW_LOG)
+    if isinstance(plan, TopN):
+        child = estimate_plan(plan.child, catalog)
+        return CostEstimate(min(child.rows, plan.n), child.cost + child.rows * TOPN_ROW)
+    if isinstance(plan, Limit):
+        child = estimate_plan(plan.child, catalog)
+        return CostEstimate(min(child.rows, plan.n), child.cost)
+    if isinstance(plan, Window):
+        child = estimate_plan(plan.child, catalog)
+        n = max(child.rows, 2)
+        per_item = n * math.log2(n) * SORT_ROW_LOG + n * 1.5
+        return CostEstimate(child.rows, child.cost + per_item * max(len(plan.items), 1))
+    raise TypeError(f"unknown plan node {type(plan).__name__}")

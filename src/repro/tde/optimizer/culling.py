@@ -1,0 +1,157 @@
+"""Join culling: unused-dimension removal and fact-table culling.
+
+Paper 4.1.2: "removal of unnecessary joins ... removal of the fact table
+from a join is critical for performance of domain queries, frequently sent
+by Tableau." Both rules are guarded by declared metadata
+(:class:`~repro.tde.optimizer.catalog.TableMeta`,
+:class:`~repro.tde.optimizer.catalog.ForeignKey`), so they only fire when
+provably result-preserving:
+
+* **Dimension removal** — an inner join to a dimension whose columns are
+  never referenced above, joined on the dimension's unique key through a
+  *total* foreign key (no orphans, non-NULL), is a no-op per fact row.
+* **Fact culling** — a domain query (pure GROUP BY, no aggregates) whose
+  keys all come from the dimension side can be answered from the dimension
+  alone when the foreign key is declared *onto* (every dimension key
+  occurs in the fact table).
+"""
+
+from __future__ import annotations
+
+from ...expr.ast import columns_used
+from ..tql.plan import (
+    Aggregate,
+    Join,
+    Limit,
+    LogicalPlan,
+    Order,
+    Project,
+    Select,
+    TableScan,
+    TopN,
+    Window,
+)
+from .catalog import StorageCatalog
+
+
+def cull_joins(plan: LogicalPlan, catalog: StorageCatalog) -> LogicalPlan:
+    """Apply both culling rules everywhere they are provably safe."""
+    return _cull(plan, None, catalog)
+
+
+def _cull(plan: LogicalPlan, needed: set[str] | None, catalog: StorageCatalog) -> LogicalPlan:
+    if isinstance(plan, TableScan):
+        return plan
+    if isinstance(plan, Select):
+        child_needed = None if needed is None else needed | columns_used(plan.predicate)
+        return Select(_cull(plan.child, child_needed, catalog), plan.predicate)
+    if isinstance(plan, Project):
+        child_needed: set[str] = set()
+        for _name, expr in plan.items:
+            child_needed |= columns_used(expr)
+        return Project(_cull(plan.child, child_needed, catalog), plan.items)
+    if isinstance(plan, Aggregate):
+        culled = _try_fact_culling(plan, catalog)
+        if culled is not None:
+            return culled
+        child_needed = set(plan.groupby)
+        for _name, agg in plan.aggs:
+            if agg.arg is not None:
+                child_needed |= columns_used(agg.arg)
+        return Aggregate(_cull(plan.child, child_needed, catalog), plan.groupby, plan.aggs)
+    if isinstance(plan, (Order, TopN)):
+        child_needed = None if needed is None else needed | {k for k, _ in plan.keys}
+        child = _cull(plan.child, child_needed, catalog)
+        if isinstance(plan, Order):
+            return Order(child, plan.keys)
+        return TopN(child, plan.n, plan.keys)
+    if isinstance(plan, Limit):
+        return Limit(_cull(plan.child, needed, catalog), plan.n)
+    if isinstance(plan, Join):
+        return _cull_join(plan, needed, catalog)
+    if isinstance(plan, Window):
+        return Window(_cull(plan.child, None, catalog), plan.items)
+    return plan
+
+
+def _cull_join(join: Join, needed: set[str] | None, catalog: StorageCatalog) -> LogicalPlan:
+    removed = _try_dimension_removal(join, needed, catalog)
+    if removed is not None:
+        return _cull(removed, needed, catalog)
+    left = _cull(join.left, _side_needed(needed, [l for l, _ in join.conditions]), catalog)
+    right = _cull(join.right, _side_needed(needed, [r for _, r in join.conditions]), catalog)
+    return Join(join.kind, join.conditions, left, right)
+
+
+def _side_needed(needed: set[str] | None, keys: list[str]) -> set[str] | None:
+    if needed is None:
+        return None
+    return needed | set(keys)
+
+
+def _try_dimension_removal(
+    join: Join, needed: set[str] | None, catalog: StorageCatalog
+) -> LogicalPlan | None:
+    """Drop an inner join whose right side contributes nothing."""
+    if needed is None or join.kind != "inner":
+        return None
+    if not isinstance(join.right, TableScan):
+        return None
+    right_table = join.right.table
+    right_keys = tuple(r for _, r in join.conditions)
+    right_out = set(catalog.schema_of(right_table)) - set(right_keys)
+    if needed & right_out:
+        return None
+    if not catalog.meta(right_table).is_unique(right_keys):
+        return None
+    fk = _find_fk(join.left, [l for l, _ in join.conditions], right_table, right_keys, catalog)
+    if fk is None or not fk.total:
+        return None
+    return join.left
+
+
+def _try_fact_culling(agg: Aggregate, catalog: StorageCatalog) -> LogicalPlan | None:
+    """Answer a domain query from the dimension table alone."""
+    if agg.aggs:
+        return None
+    child = agg.child
+    pre_filter = None
+    if isinstance(child, Select):
+        pre_filter = child.predicate
+        child = child.child
+    if not isinstance(child, Join) or child.kind != "inner":
+        return None
+    if not isinstance(child.right, TableScan) or not isinstance(child.left, TableScan):
+        return None
+    right_table = child.right.table
+    right_keys = tuple(r for _, r in child.conditions)
+    right_cols = set(catalog.schema_of(right_table))
+    if not set(agg.groupby) <= (right_cols - set(right_keys)):
+        return None
+    if pre_filter is not None and not columns_used(pre_filter) <= (right_cols - set(right_keys)):
+        return None
+    if not catalog.meta(right_table).is_unique(right_keys):
+        return None
+    fk = catalog.foreign_key(
+        child.left.table, tuple(l for l, _ in child.conditions), right_table, right_keys
+    )
+    if fk is None or not fk.onto or not fk.total:
+        return None
+    base: LogicalPlan = child.right
+    if pre_filter is not None:
+        base = Select(base, pre_filter)
+    return Aggregate(base, agg.groupby, ())
+
+
+def _find_fk(left: LogicalPlan, left_keys: list[str], parent: str, parent_keys, catalog):
+    """Find a declared FK from any base table in the left subtree.
+
+    Column identity is by name: the engine's workloads keep fact FK column
+    names stable through the plan, which the scan-level check enforces.
+    """
+    for node in left.walk():
+        if isinstance(node, TableScan):
+            fk = catalog.foreign_key(node.table, tuple(left_keys), parent, tuple(parent_keys))
+            if fk is not None:
+                return fk
+    return None

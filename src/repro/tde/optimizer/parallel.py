@@ -1,0 +1,122 @@
+"""Parallel plan generation helpers (paper 4.2).
+
+The planner follows the paper's bottom-up scheme: TableScan decides the
+degree of parallelism from metadata and the expression cost profile, flow
+operators inherit it, stop-and-go operators close it with an Exchange.
+This module holds the pieces the planner composes:
+
+* :func:`decide_dop` — the degree-of-parallelism decision;
+* :func:`split_local_global` — local/global aggregation rewriting
+  (paper 4.2.3, Figure 5);
+* :func:`close_fragments` — Exchange insertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...datatypes import LogicalType
+from ...expr.ast import Call, ColumnRef, Expr
+from ..exec.exchange import PExchange
+from ..exec.kernels import AggSpec
+from ..exec.physical import PhysNode
+
+
+@dataclass
+class PlannerOptions:
+    """Knobs of the physical planner and parallelizer.
+
+    ``min_work_per_fraction`` is in cost-model work units; a scan only
+    splits when each fraction gets at least this much pipeline work, which
+    is how the expression cost profile "affects the decision of the
+    parallelization" (paper 4.2.2).
+    """
+
+    max_dop: int = 4
+    min_work_per_fraction: float = 32768.0
+    enable_parallel: bool = True
+    enable_rle_index: bool = True
+    enable_local_global_agg: bool = True
+    enable_range_partition_agg: bool = True
+    enable_streaming_agg: bool = True
+    #: Future-work feature (paper 4.2.2): sort fragments in parallel and
+    #: merge order-preservingly instead of closing with Exchange + Sort.
+    enable_order_preserving_merge: bool = False
+    rle_selectivity_threshold: float = 0.35
+
+    def serial(self) -> "PlannerOptions":
+        from dataclasses import replace
+
+        return replace(self, enable_parallel=False, max_dop=1)
+
+
+@dataclass
+class Fragments:
+    """A pipeline region: N parallel fragments plus partition provenance.
+
+    ``range_partitioned_on`` names the output column (post-renames) whose
+    values are guaranteed not to straddle fragments — the Lemma 2 property
+    that lets the planner drop the global aggregation.
+    """
+
+    nodes: list[PhysNode]
+    range_partitioned_on: str | None = None
+
+    @property
+    def degree(self) -> int:
+        return len(self.nodes)
+
+
+def decide_dop(rows: int, row_cost_hint: float, options: PlannerOptions) -> int:
+    """Choose how many fractions a scan should split into."""
+    if not options.enable_parallel or options.max_dop <= 1:
+        return 1
+    work = rows * max(1.0, 1.0 + row_cost_hint)
+    return max(1, min(options.max_dop, int(work // options.min_work_per_fraction)))
+
+
+def close_fragments(frags: Fragments, *, ordered: bool = False) -> PhysNode:
+    """Insert the Exchange that ends a parallel region (paper Fig. 3)."""
+    if frags.degree == 1:
+        return frags.nodes[0]
+    return PExchange(list(frags.nodes), ordered=ordered)
+
+
+def split_local_global(
+    groupby: list[str], specs: list[AggSpec]
+) -> tuple[list[AggSpec], list[AggSpec], list[tuple[str, Expr]], bool] | None:
+    """Rewrite aggregates into local/global phases (paper 4.2.3).
+
+    Returns ``(local_specs, global_specs, final_items, needs_final)`` or
+    ``None`` when the split is impossible (COUNT DISTINCT cannot be merged
+    from partial results without group-disjoint partitions).
+    """
+    local: list[AggSpec] = []
+    global_: list[AggSpec] = []
+    final: list[tuple[str, Expr]] = [(g, ColumnRef(g)) for g in groupby]
+    needs_final = False
+    for spec in specs:
+        if spec.func == "count_distinct":
+            return None
+        if spec.func in ("sum", "min", "max"):
+            local.append(spec)
+            global_.append(AggSpec(spec.name, spec.func, spec.name, spec.result_type))
+            final.append((spec.name, ColumnRef(spec.name)))
+        elif spec.func in ("count", "count_star"):
+            local.append(spec)
+            global_.append(AggSpec(spec.name, "sum", spec.name, LogicalType.INT))
+            final.append((spec.name, ColumnRef(spec.name)))
+        elif spec.func == "avg":
+            part_sum = f"__ls_{spec.name}"
+            part_cnt = f"__lc_{spec.name}"
+            local.append(AggSpec(part_sum, "sum", spec.arg, LogicalType.FLOAT))
+            local.append(AggSpec(part_cnt, "count", spec.arg, LogicalType.INT))
+            global_.append(AggSpec(part_sum, "sum", part_sum, LogicalType.FLOAT))
+            global_.append(AggSpec(part_cnt, "sum", part_cnt, LogicalType.INT))
+            final.append(
+                (spec.name, Call("/", (ColumnRef(part_sum), ColumnRef(part_cnt))))
+            )
+            needs_final = True
+        else:  # pragma: no cover - defensive
+            return None
+    return local, global_, final, needs_final

@@ -1,0 +1,399 @@
+"""Physical planning: logical plan → (possibly parallel) physical plan.
+
+Implements the paper's bottom-up parallel plan generation (4.2.2):
+
+1. at TableScan the optimizer decides a fraction count N ≥ 1 from metadata
+   and the expression cost profile of the pipeline above;
+2. flow operators (Select, Project) inherit the degree of parallelism;
+3. stop-and-go operators (Aggregate, Order, TopN) close the region with an
+   Exchange — except aggregates, which prefer local/global aggregation or,
+   when a range partition on a sort-prefix group-by column is available,
+   run fully parallel with no global phase at all (Lemmas 1–3, 4.2.3);
+4. joins parallelize their left (fact) side and share a single build-side
+   table across fragments (Figure 4);
+5. an Exchange at the root closes any remaining parallelism.
+
+Aggregate partition requirements are pushed down to the nearest scan
+("the TableScan only gets the partition requirements from the nearest
+Aggregate operator", 4.2.3).
+"""
+
+from __future__ import annotations
+
+from ...errors import OptimizerError
+from ...expr.ast import ColumnRef, columns_used, conjuncts
+from ..exec.exchange import FractionTable, SharedBuild
+from ..exec.kernels import AggSpec
+from ..exec.physical import (
+    PFilter,
+    PHashAggregate,
+    PHashJoin,
+    PIndexedRleScan,
+    PLimit,
+    PProject,
+    PScan,
+    PSort,
+    PStreamAggregate,
+    PTopN,
+    PhysNode,
+)
+from ..storage.table import Table
+from ..tql.binder import bind
+from ..tql.plan import (
+    Aggregate,
+    Distinct,
+    Join,
+    Limit,
+    LogicalPlan,
+    Order,
+    Project,
+    Select,
+    TableScan,
+    TopN,
+    Window,
+)
+from .catalog import StorageCatalog
+from .cost import expr_cost
+from .decompression import choose_rle_scan
+from .parallel import (
+    Fragments,
+    PlannerOptions,
+    close_fragments,
+    decide_dop,
+    split_local_global,
+)
+from .properties import grouping_satisfied_by_order, range_partition_key, sorted_prefix
+from .rules import rewrite_logical
+
+
+def plan_query(
+    logical: LogicalPlan,
+    catalog: StorageCatalog,
+    options: PlannerOptions | None = None,
+    *,
+    rewrite: bool = True,
+) -> PhysNode:
+    """Produce an executable physical plan for a logical query."""
+    options = options or PlannerOptions()
+    if rewrite:
+        logical = rewrite_logical(logical, catalog)
+    bind(logical, catalog)  # validate before committing to a plan
+    frags = _build(logical, catalog, options, needed=None, hint=0.0, partition_req=())
+    return close_fragments(frags)
+
+
+# ---------------------------------------------------------------------- #
+# Recursive construction
+# ---------------------------------------------------------------------- #
+def _build(
+    plan: LogicalPlan,
+    catalog: StorageCatalog,
+    options: PlannerOptions,
+    *,
+    needed: set[str] | None,
+    hint: float,
+    partition_req: tuple[str, ...],
+) -> Fragments:
+    if isinstance(plan, TableScan):
+        return _build_scan(plan, catalog, options, needed, hint, partition_req, None)
+    if isinstance(plan, Select):
+        return _build_select(plan, catalog, options, needed, hint, partition_req)
+    if isinstance(plan, Project):
+        return _build_project(plan, catalog, options, needed, hint, partition_req)
+    if isinstance(plan, Join):
+        return _build_join(plan, catalog, options, needed, hint, partition_req)
+    if isinstance(plan, Aggregate):
+        return _build_aggregate(plan, catalog, options, hint)
+    if isinstance(plan, Distinct):
+        # Normalization-independent path (used when rewrites are skipped).
+        return _build_aggregate(Aggregate(plan.child, plan.columns, ()), catalog, options, hint)
+    if isinstance(plan, Order):
+        frags = _build(
+            plan.child,
+            catalog,
+            options,
+            needed=_extend(needed, [k for k, _ in plan.keys]),
+            hint=hint,
+            partition_req=(),
+        )
+        if frags.degree > 1 and options.enable_order_preserving_merge:
+            from ..exec.exchange import PMergeSorted
+
+            # Future work of 4.2.2: sort each fragment in parallel, then
+            # merge order-preservingly — O(n log k) instead of a serial
+            # O(n log n) sort above a plain Exchange.
+            local_sorts = [PSort(node, list(plan.keys)) for node in frags.nodes]
+            return Fragments([PMergeSorted(local_sorts, list(plan.keys))])
+        return Fragments([PSort(close_fragments(frags), list(plan.keys))])
+    if isinstance(plan, TopN):
+        frags = _build(
+            plan.child,
+            catalog,
+            options,
+            needed=_extend(needed, [k for k, _ in plan.keys]),
+            hint=hint,
+            partition_req=(),
+        )
+        if frags.degree > 1:
+            # Local/global TopN (paper 4.2.3): each fragment keeps its own
+            # top n, the Exchange merges, a global TopN finishes.
+            locals_ = [PTopN(node, plan.n, list(plan.keys)) for node in frags.nodes]
+            merged = close_fragments(Fragments(locals_))
+            return Fragments([PTopN(merged, plan.n, list(plan.keys))])
+        return Fragments([PTopN(frags.nodes[0], plan.n, list(plan.keys))])
+    if isinstance(plan, Limit):
+        frags = _build(
+            plan.child, catalog, options, needed=needed, hint=hint, partition_req=()
+        )
+        return Fragments([PLimit(close_fragments(frags, ordered=True), plan.n)])
+    if isinstance(plan, Window):
+        from ..exec.physical import PWindow
+
+        # Window calculations need every input column (the output carries
+        # them all) and are stop-and-go: close any parallelism first.
+        frags = _build(
+            plan.child, catalog, options, needed=None, hint=hint, partition_req=()
+        )
+        return Fragments([PWindow(close_fragments(frags), list(plan.items))])
+    raise OptimizerError(f"cannot plan {type(plan).__name__} (rewrite first?)")
+
+
+def _extend(needed: set[str] | None, extra) -> set[str] | None:
+    if needed is None:
+        return None
+    return needed | set(extra)
+
+
+def _scan_columns(table: Table, needed: set[str] | None) -> list[str] | None:
+    if needed is None:
+        return None
+    columns = [c for c in table.column_names if c in needed]
+    if not columns and table.column_names:
+        # COUNT(*)-style queries need row counts even with no columns
+        # referenced; keep the cheapest column as a row carrier.
+        cheapest = min(table.column_names, key=lambda c: table.column(c).nbytes)
+        columns = [cheapest]
+    return columns
+
+
+def _build_scan(
+    plan: TableScan,
+    catalog: StorageCatalog,
+    options: PlannerOptions,
+    needed: set[str] | None,
+    hint: float,
+    partition_req: tuple[str, ...],
+    predicate,
+) -> Fragments:
+    storage = catalog.storage(plan.table)
+    columns = _scan_columns(storage, needed)
+    row_hint = hint + (expr_cost(predicate) if predicate is not None else 0.0)
+    dop = decide_dop(storage.n_rows, row_hint, options)
+    if dop > 1 and partition_req and options.enable_range_partition_agg:
+        key = range_partition_key(partition_req, storage.sort_keys)
+        if key is not None:
+            scans = FractionTable.split_by_key(
+                storage, key, dop, columns=columns, predicate=predicate
+            )
+            if scans is not None and len(scans) > 1:
+                return Fragments(list(scans), range_partitioned_on=key)
+    if dop > 1:
+        scans = FractionTable.split_even(storage, dop, columns=columns, predicate=predicate)
+        return Fragments(list(scans))
+    return Fragments([PScan(storage, columns, predicate)])
+
+
+def _build_select(
+    plan: Select,
+    catalog: StorageCatalog,
+    options: PlannerOptions,
+    needed: set[str] | None,
+    hint: float,
+    partition_req: tuple[str, ...],
+) -> Fragments:
+    child_needed = _extend(needed, columns_used(plan.predicate))
+    if isinstance(plan.child, TableScan):
+        storage = catalog.storage(plan.child.table)
+        if options.enable_rle_index:
+            choice = choose_rle_scan(
+                storage,
+                conjuncts(plan.predicate),
+                selectivity_threshold=options.rle_selectivity_threshold,
+            )
+            if choice is not None:
+                column, index_pred, residual = choice
+                columns = _scan_columns(storage, child_needed)
+                # The IndexTable join runs serially: range skipping trades
+                # away the degree of parallelism (paper 4.3's caveat).
+                node = PIndexedRleScan(storage, column, index_pred, residual, columns)
+                return Fragments([node])
+        return _build_scan(
+            plan.child, catalog, options, child_needed, hint, partition_req, plan.predicate
+        )
+    frags = _build(
+        plan.child,
+        catalog,
+        options,
+        needed=child_needed,
+        hint=hint + expr_cost(plan.predicate),
+        partition_req=partition_req,
+    )
+    nodes = [PFilter(node, plan.predicate) for node in frags.nodes]
+    return Fragments(nodes, frags.range_partitioned_on)
+
+
+def _build_project(
+    plan: Project,
+    catalog: StorageCatalog,
+    options: PlannerOptions,
+    needed: set[str] | None,
+    hint: float,
+    partition_req: tuple[str, ...],
+) -> Fragments:
+    child_needed: set[str] = set()
+    for _name, expr in plan.items:
+        child_needed |= columns_used(expr)
+    # Map the aggregate's partition requirement through renames.
+    passthrough = {
+        name: expr.name for name, expr in plan.items if isinstance(expr, ColumnRef)
+    }
+    child_req = tuple(passthrough[c] for c in partition_req if c in passthrough)
+    item_cost = sum(expr_cost(e) for _, e in plan.items)
+    frags = _build(
+        plan.child,
+        catalog,
+        options,
+        needed=child_needed,
+        hint=hint + item_cost,
+        partition_req=child_req,
+    )
+    nodes = [PProject(node, list(plan.items)) for node in frags.nodes]
+    part = None
+    if frags.range_partitioned_on is not None:
+        inverse = {src: out for out, src in passthrough.items()}
+        part = inverse.get(frags.range_partitioned_on)
+    return Fragments(nodes, part)
+
+
+def _build_join(
+    plan: Join,
+    catalog: StorageCatalog,
+    options: PlannerOptions,
+    needed: set[str] | None,
+    hint: float,
+    partition_req: tuple[str, ...],
+) -> Fragments:
+    left_schema = bind(plan.left, catalog)
+    right_schema = bind(plan.right, catalog)
+    left_keys = [l for l, _ in plan.conditions]
+    right_keys = [r for _, r in plan.conditions]
+    if needed is None:
+        left_needed: set[str] | None = None
+        right_needed: set[str] | None = None
+    else:
+        left_needed = (needed & set(left_schema)) | set(left_keys)
+        right_needed = (needed & set(right_schema)) | set(right_keys)
+    # Partition requirements survive only through probe-side columns.
+    left_req = tuple(c for c in partition_req if c in left_schema)
+    left = _build(
+        plan.left,
+        catalog,
+        options,
+        needed=left_needed,
+        hint=hint + 2.0,
+        partition_req=left_req,
+    )
+    # The right sub-tree forms its own independent parallel unit whose
+    # result is shared between threads (paper 4.2.2).
+    right = _build(
+        plan.right, catalog, options, needed=right_needed, hint=0.0, partition_req=()
+    )
+    shared = SharedBuild(close_fragments(right))
+    nodes = [
+        PHashJoin(plan.kind, list(plan.conditions), node, shared) for node in left.nodes
+    ]
+    part = left.range_partitioned_on if plan.kind == "inner" else None
+    return Fragments(nodes, part)
+
+
+def _build_aggregate(
+    plan: Aggregate,
+    catalog: StorageCatalog,
+    options: PlannerOptions,
+    hint: float,
+) -> Fragments:
+    child_schema = bind(plan.child, catalog)
+    specs, pre_items, needs_pre = _make_specs(plan, child_schema)
+    child_needed = set(plan.groupby)
+    for _name, agg in plan.aggs:
+        if agg.arg is not None:
+            child_needed |= columns_used(agg.arg)
+    agg_cost = 2.5 + sum(expr_cost(a) for _, a in plan.aggs)
+    frags = _build(
+        plan.child,
+        catalog,
+        options,
+        needed=child_needed,
+        hint=hint + agg_cost,
+        partition_req=tuple(plan.groupby),
+    )
+    if needs_pre:
+        frags = Fragments(
+            [PProject(node, pre_items) for node in frags.nodes], frags.range_partitioned_on
+        )
+    groupby = list(plan.groupby)
+    child_order = sorted_prefix(plan.child, catalog)
+    streamable = options.enable_streaming_agg and grouping_satisfied_by_order(
+        tuple(groupby), child_order
+    )
+    if frags.degree == 1:
+        op = PStreamAggregate if streamable else PHashAggregate
+        return Fragments([op(frags.nodes[0], groupby, specs)])
+    if (
+        options.enable_range_partition_agg
+        and frags.range_partitioned_on is not None
+        and frags.range_partitioned_on in set(groupby)
+    ):
+        # Lemma 3: every group lives in exactly one fragment — aggregate
+        # each fragment completely; no Exchange, no global phase.
+        op = PStreamAggregate if streamable else PHashAggregate
+        nodes = [op(node, groupby, specs) for node in frags.nodes]
+        return Fragments(nodes, frags.range_partitioned_on)
+    if options.enable_local_global_agg:
+        split = split_local_global(groupby, specs)
+        if split is not None:
+            local_specs, global_specs, final_items, needs_final = split
+            local_op = PStreamAggregate if streamable else PHashAggregate
+            locals_ = [local_op(node, groupby, local_specs) for node in frags.nodes]
+            merged = close_fragments(Fragments(locals_))
+            out: PhysNode = PHashAggregate(merged, groupby, global_specs)
+            if needs_final:
+                out = PProject(out, final_items)
+            return Fragments([out])
+    merged = close_fragments(frags)
+    return Fragments([PHashAggregate(merged, groupby, specs)])
+
+
+def _make_specs(plan: Aggregate, child_schema) -> tuple[list[AggSpec], list, bool]:
+    """Translate AggExprs into kernel specs plus an argument projection."""
+    pre_items: list[tuple[str, object]] = [(g, ColumnRef(g)) for g in plan.groupby]
+    present = {g for g in plan.groupby}
+    specs: list[AggSpec] = []
+    needs_pre = False
+    for i, (name, agg) in enumerate(plan.aggs):
+        result = agg.result_type(child_schema)
+        if agg.arg is None:
+            specs.append(AggSpec(name, "count_star", None, result))
+            continue
+        if isinstance(agg.arg, ColumnRef):
+            arg_name = agg.arg.name
+            if arg_name not in present:
+                pre_items.append((arg_name, ColumnRef(arg_name)))
+                present.add(arg_name)
+        else:
+            arg_name = f"__arg{i}"
+            pre_items.append((arg_name, agg.arg))
+            present.add(arg_name)
+            needs_pre = True
+        specs.append(AggSpec(name, agg.func, arg_name, result))
+    return specs, pre_items, needs_pre

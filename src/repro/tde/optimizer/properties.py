@@ -1,0 +1,131 @@
+"""Property derivation: sortedness and uniqueness (paper 4.1.2, 4.2.4).
+
+"The TDE optimizer ... derives properties, such as column dependencies,
+equivalence sets, uniqueness, sorting properties and utilizes them to
+perform a series of optimizations." We derive the two properties the
+planner consumes:
+
+* ``sorted_prefix(plan)`` — the ordered column list the operator's output
+  is sorted by (used to pick streaming aggregates and to range-partition
+  for parallel aggregation, Lemmas 1–3 of 4.2.3);
+* ``unique_sets(plan)`` — column sets known to be row-unique (used by
+  join culling, which lives in ``culling.py``).
+"""
+
+from __future__ import annotations
+
+from ...expr.ast import ColumnRef
+from ..tql.plan import (
+    Aggregate,
+    Distinct,
+    Join,
+    Limit,
+    LogicalPlan,
+    Order,
+    Project,
+    Select,
+    TableScan,
+    TopN,
+)
+from .catalog import StorageCatalog
+
+
+def sorted_prefix(plan: LogicalPlan, catalog: StorageCatalog) -> tuple[str, ...]:
+    """The ordered columns the plan's output is sorted by (may be empty)."""
+    if isinstance(plan, TableScan):
+        return tuple(catalog.sort_keys(plan.table))
+    if isinstance(plan, Select):
+        return sorted_prefix(plan.child, catalog)
+    if isinstance(plan, Limit):
+        return sorted_prefix(plan.child, catalog)
+    if isinstance(plan, Project):
+        child_sorted = sorted_prefix(plan.child, catalog)
+        rename: dict[str, str] = {}
+        for name, expr in plan.items:
+            if isinstance(expr, ColumnRef):
+                rename.setdefault(expr.name, name)
+        out: list[str] = []
+        for key in child_sorted:
+            if key in rename:
+                out.append(rename[key])
+            else:
+                break
+        return tuple(out)
+    if isinstance(plan, Join):
+        # Hash join preserves probe (left) order for inner joins; left
+        # joins append unmatched rows out of order per batch.
+        if plan.kind == "inner":
+            return sorted_prefix(plan.left, catalog)
+        return ()
+    if isinstance(plan, Aggregate):
+        # Hash aggregation does not guarantee order; the physical planner
+        # re-derives this when it picks a streaming aggregate.
+        return ()
+    if isinstance(plan, (Order, TopN)):
+        return tuple(k for k, asc in plan.keys if asc)
+    if isinstance(plan, Distinct):
+        return ()
+    return ()
+
+
+def unique_sets(plan: LogicalPlan, catalog: StorageCatalog) -> list[frozenset[str]]:
+    """Column sets that uniquely identify output rows."""
+    if isinstance(plan, TableScan):
+        return [frozenset(key) for key in catalog.meta(plan.table).unique_keys]
+    if isinstance(plan, (Select, Limit, TopN, Order)):
+        return unique_sets(plan.child, catalog)
+    if isinstance(plan, Project):
+        passthrough = {
+            expr.name: name for name, expr in plan.items if isinstance(expr, ColumnRef)
+        }
+        out = []
+        for key in unique_sets(plan.child, catalog):
+            if key <= set(passthrough):
+                out.append(frozenset(passthrough[c] for c in key))
+        return out
+    if isinstance(plan, Aggregate):
+        return [frozenset(plan.groupby)] if plan.groupby else []
+    if isinstance(plan, Distinct):
+        return [frozenset(plan.columns)]
+    if isinstance(plan, Join):
+        # left-unique x key-unique right stays unique on the left key set.
+        right_unique = unique_sets(plan.right, catalog)
+        right_keys = frozenset(r for _, r in plan.conditions)
+        if any(key <= right_keys for key in right_unique):
+            return unique_sets(plan.left, catalog)
+        return []
+    return []
+
+
+def grouping_satisfied_by_order(
+    groupby: tuple[str, ...], order: tuple[str, ...]
+) -> bool:
+    """Whether rows sorted by ``order`` arrive grouped by ``groupby``.
+
+    Sorting is a sufficient (not necessary) condition for grouping (paper
+    4.2.4): it suffices that the first ``len(groupby)`` sorted columns are
+    a permutation of the group-by set.
+    """
+    if not groupby:
+        return False
+    if len(order) < len(groupby):
+        return False
+    return set(order[: len(groupby)]) == set(groupby)
+
+
+def range_partition_key(
+    groupby: tuple[str, ...], order: tuple[str, ...]
+) -> str | None:
+    """Pick the partitioning column for Lemma-3 parallel aggregation.
+
+    "If there exists a subset of GROUP BY columns such that a permutation
+    of these columns is a prefix of the sorted column list, a range
+    partition is able to be delivered for removing the global aggregation"
+    (paper 4.2.3). We partition on the first sorted column when it belongs
+    to the group-by set — the 1-column prefix case, which already unlocks
+    the experiment's behaviour; wider prefixes reduce to it because range
+    partitioning any prefix splits at boundaries of its first column.
+    """
+    if order and order[0] in set(groupby):
+        return order[0]
+    return None

@@ -1,0 +1,135 @@
+"""Three-layer namespace: database → schema → table (paper 4.1.1).
+
+Metadata lives in the reserved ``SYS`` schema, materialized on demand as
+ordinary tables (``SYS.schemas``, ``SYS.tables``, ``SYS.columns``) so that
+metadata queries go through the normal query path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...errors import StorageError
+from .table import Table
+
+SYS_SCHEMA = "SYS"
+DEFAULT_SCHEMA = "Extract"
+
+
+class Schema:
+    """A named collection of tables."""
+
+    def __init__(self, name: str):
+        if name == SYS_SCHEMA:
+            raise StorageError(f"{SYS_SCHEMA} is reserved")
+        self.name = name
+        self.tables: dict[str, Table] = {}
+
+    def add_table(self, name: str, table: Table, *, replace: bool = False) -> None:
+        if name in self.tables and not replace:
+            raise StorageError(f"table {self.name}.{name} already exists")
+        self.tables[name] = table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise StorageError(f"no table {self.name}.{name}")
+        del self.tables[name]
+
+    def table(self, name: str) -> Table:
+        if name not in self.tables:
+            raise StorageError(f"no table {self.name}.{name}")
+        return self.tables[name]
+
+
+class Database:
+    """A named database: schemas plus the virtual SYS metadata schema."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.schemas: dict[str, Schema] = {DEFAULT_SCHEMA: Schema(DEFAULT_SCHEMA)}
+
+    # ------------------------------------------------------------------ #
+    # Namespace management
+    # ------------------------------------------------------------------ #
+    def create_schema(self, name: str) -> Schema:
+        if name in self.schemas:
+            raise StorageError(f"schema {name} already exists")
+        schema = Schema(name)
+        self.schemas[name] = schema
+        return schema
+
+    def schema(self, name: str) -> Schema:
+        if name not in self.schemas:
+            raise StorageError(f"no schema {name}")
+        return self.schemas[name]
+
+    def add_table(self, qualified: str, table: Table, *, replace: bool = False) -> None:
+        schema_name, table_name = self.split_name(qualified)
+        if schema_name not in self.schemas:
+            self.create_schema(schema_name)
+        self.schemas[schema_name].add_table(table_name, table, replace=replace)
+
+    def drop_table(self, qualified: str) -> None:
+        schema_name, table_name = self.split_name(qualified)
+        self.schema(schema_name).drop_table(table_name)
+
+    def table(self, qualified: str) -> Table:
+        schema_name, table_name = self.split_name(qualified)
+        if schema_name == SYS_SCHEMA:
+            return self._sys_table(table_name)
+        return self.schema(schema_name).table(table_name)
+
+    def has_table(self, qualified: str) -> bool:
+        schema_name, table_name = self.split_name(qualified)
+        if schema_name == SYS_SCHEMA:
+            return table_name in ("schemas", "tables", "columns")
+        return schema_name in self.schemas and table_name in self.schemas[schema_name].tables
+
+    def iter_tables(self) -> Iterator[tuple[str, str, Table]]:
+        for schema_name, schema in self.schemas.items():
+            for table_name, table in schema.tables.items():
+                yield schema_name, table_name, table
+
+    @staticmethod
+    def split_name(qualified: str) -> tuple[str, str]:
+        """Split ``schema.table`` (an unqualified name gets the default)."""
+        if "." in qualified:
+            schema_name, table_name = qualified.split(".", 1)
+            return schema_name, table_name
+        return DEFAULT_SCHEMA, qualified
+
+    # ------------------------------------------------------------------ #
+    # SYS metadata
+    # ------------------------------------------------------------------ #
+    def _sys_table(self, name: str) -> Table:
+        if name == "schemas":
+            return Table.from_pydict({"schema_name": sorted(self.schemas)})
+        if name == "tables":
+            rows = [(s, t, tab.n_rows) for s, t, tab in self.iter_tables()]
+            rows.sort()
+            return Table.from_pydict(
+                {
+                    "schema_name": [r[0] for r in rows],
+                    "table_name": [r[1] for r in rows],
+                    "row_count": [r[2] for r in rows],
+                }
+            )
+        if name == "columns":
+            rows = []
+            for s, t, tab in self.iter_tables():
+                for col_name, col in tab.columns.items():
+                    rows.append(
+                        (s, t, col_name, col.ltype.value, col.encoding, col.collation.name)
+                    )
+            rows.sort()
+            return Table.from_pydict(
+                {
+                    "schema_name": [r[0] for r in rows],
+                    "table_name": [r[1] for r in rows],
+                    "column_name": [r[2] for r in rows],
+                    "type": [r[3] for r in rows],
+                    "encoding": [r[4] for r in rows],
+                    "collation": [r[5] for r in rows],
+                }
+            )
+        raise StorageError(f"no SYS table {name}")

@@ -1,0 +1,231 @@
+"""Physical vectors: the on-disk/in-memory representations of column data.
+
+The TDE distinguishes *dictionary compression* (visible outside the storage
+layer) from *encodings* (run-length, delta) which are "a storage format that
+is typically invisible outside this layer" (paper 4.1.1). This module
+implements the encodings; ``dictionary.py`` implements compression.
+
+A :class:`PhysicalVector` stores a sequence of fixed-width values (int64,
+float64, bool) or — for plain vectors only — object-dtype strings. Columns
+compose a vector with an optional dictionary and a null mask.
+
+The run-length representation deliberately exposes its runs
+(:meth:`RleVector.index_table`) because the optimizer turns them into an
+IndexTable joined back to the main table for range skipping (paper 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ...errors import StorageError
+
+
+class PhysicalVector:
+    """Abstract base for physical vector encodings."""
+
+    encoding: str = "abstract"
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def materialize(self) -> np.ndarray:
+        """Decode to a plain numpy array of the storage dtype."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Decode rows [start, stop) to a plain numpy array."""
+        return self.materialize()[start:stop]
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        """Decode the given row positions."""
+        return self.materialize()[indices]
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate storage footprint in bytes."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class PlainVector(PhysicalVector):
+    """Uncompressed fixed-width (or object/str) storage."""
+
+    encoding = "plain"
+
+    def __init__(self, values: np.ndarray):
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def materialize(self) -> np.ndarray:
+        return self._values
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        return self._values[start:stop]
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        return self._values[indices]
+
+    @property
+    def nbytes(self) -> int:
+        if self._values.dtype == object:
+            return int(sum(len(str(v)) for v in self._values)) + 8 * len(self._values)
+        return int(self._values.nbytes)
+
+
+class RleVector(PhysicalVector):
+    """Run-length encoded storage for fixed-width values.
+
+    Stored as parallel arrays ``values``/``counts``; ``starts`` is the
+    exclusive prefix sum of counts. Decoding is ``np.repeat``; positional
+    access binary-searches the starts.
+    """
+
+    encoding = "rle"
+
+    def __init__(self, values: np.ndarray, counts: np.ndarray):
+        if len(values) != len(counts):
+            raise StorageError("RLE values/counts length mismatch")
+        self.values = values
+        self.counts = np.asarray(counts, dtype=np.int64)
+        self.starts = np.concatenate(([0], np.cumsum(self.counts)[:-1])) if len(counts) else np.zeros(0, dtype=np.int64)
+        self._length = int(self.counts.sum())
+
+    @classmethod
+    def from_plain(cls, values: np.ndarray) -> "RleVector":
+        """Encode a plain array; empty input produces an empty vector."""
+        n = len(values)
+        if n == 0:
+            return cls(values[:0], np.zeros(0, dtype=np.int64))
+        change = np.empty(n, dtype=np.bool_)
+        change[0] = True
+        np.not_equal(values[1:], values[:-1], out=change[1:])
+        run_starts = np.flatnonzero(change)
+        run_values = values[run_starts]
+        counts = np.diff(np.concatenate((run_starts, [n])))
+        return cls(run_values, counts)
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.values)
+
+    def materialize(self) -> np.ndarray:
+        return np.repeat(self.values, self.counts)
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        run_idx = np.searchsorted(self.starts, indices, side="right") - 1
+        return self.values[run_idx]
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        if start >= stop:
+            return self.values[:0]
+        first = int(np.searchsorted(self.starts, start, side="right") - 1)
+        last = int(np.searchsorted(self.starts, stop - 1, side="right") - 1)
+        vals = self.values[first : last + 1]
+        counts = self.counts[first : last + 1].copy()
+        counts[0] -= start - int(self.starts[first])
+        counts[-1] = (stop - max(start, int(self.starts[last]))) if last > first else counts[-1]
+        if last == first:
+            counts[0] = stop - start
+        return np.repeat(vals, counts)
+
+    def index_table(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the (value, count, start) arrays of the IndexTable.
+
+        The optimizer materializes these as a small table, applies the
+        query's filter to the ``value`` column and joins the surviving
+        ranges back to the main table — expressing range skipping "simply
+        as a join in the query plan" (paper 4.3).
+        """
+        return self.values, self.counts, self.starts
+
+    def runs(self) -> Iterator[tuple[int, int, object]]:
+        """Yield (start, count, value) triples in row order."""
+        for v, c, s in zip(self.values, self.counts, self.starts):
+            yield int(s), int(c), v
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes + self.counts.nbytes)
+
+
+class DeltaVector(PhysicalVector):
+    """Delta encoding for int64-backed values (ids, dates, timestamps).
+
+    Stores the first value and successive differences in the narrowest
+    integer dtype that fits. Decoding is a cumulative sum.
+    """
+
+    encoding = "delta"
+
+    def __init__(self, base: int, deltas: np.ndarray, dtype: np.dtype = np.dtype(np.int64)):
+        self.base = int(base)
+        self.deltas = deltas
+        self._out_dtype = dtype
+        self._length = len(deltas) + 1 if len(deltas) or base is not None else 0
+
+    @classmethod
+    def from_plain(cls, values: np.ndarray) -> "DeltaVector":
+        if len(values) == 0:
+            raise StorageError("cannot delta-encode an empty vector")
+        diffs = np.diff(values.astype(np.int64))
+        for candidate in (np.int8, np.int16, np.int32):
+            info = np.iinfo(candidate)
+            if len(diffs) == 0 or (diffs.min() >= info.min and diffs.max() <= info.max):
+                return cls(int(values[0]), diffs.astype(candidate), values.dtype)
+        return cls(int(values[0]), diffs, values.dtype)
+
+    def __len__(self) -> int:
+        return len(self.deltas) + 1
+
+    def materialize(self) -> np.ndarray:
+        out = np.empty(len(self), dtype=np.int64)
+        out[0] = self.base
+        np.cumsum(self.deltas, out=out[1:], dtype=np.int64)
+        out[1:] += self.base
+        return out.astype(self._out_dtype, copy=False)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.deltas.nbytes) + 8
+
+
+#: Minimum average run length for RLE to be chosen over plain storage.
+RLE_MIN_AVG_RUN = 2.0
+
+
+def encode_best(values: np.ndarray, *, prefer: str | None = None) -> PhysicalVector:
+    """Choose a storage encoding for a plain array.
+
+    ``prefer`` forces ``"plain"``, ``"rle"`` or ``"delta"``; otherwise the
+    encoder picks RLE when the average run length is at least
+    ``RLE_MIN_AVG_RUN``, delta for monotone-ish int64 data whose deltas fit
+    in 16 bits, and plain otherwise. Object (string) arrays are never
+    encoded here — they go through dictionary compression first, after
+    which their codes can be encoded.
+    """
+    if prefer == "plain":
+        return PlainVector(values)
+    if prefer == "rle":
+        return RleVector.from_plain(values)
+    if prefer == "delta":
+        return DeltaVector.from_plain(values)
+    if prefer is not None:
+        raise StorageError(f"unknown encoding preference {prefer!r}")
+    n = len(values)
+    if n == 0 or values.dtype == object:
+        return PlainVector(values)
+    rle = RleVector.from_plain(values)
+    if n / max(rle.n_runs, 1) >= RLE_MIN_AVG_RUN:
+        return rle
+    if values.dtype.kind == "i" and n >= 2:
+        diffs = np.diff(values.astype(np.int64))
+        if len(diffs) and diffs.min() >= -32768 and diffs.max() <= 32767:
+            return DeltaVector.from_plain(values)
+    return PlainVector(values)

@@ -1,0 +1,43 @@
+"""TQL — the TDE's logical-tree query language (paper 4.1.2).
+
+"The TDE uses a logical tree style language called Tableau Query Language
+(TQL). It supports logical operators present in most databases, such as
+TableScan, Select, Project, Join, Aggregate, Order, and TopN."
+
+This package provides the plan node classes (``plan``), a text parser and
+printer (``parser``), and the binder that resolves names and checks types
+(``binder``).
+"""
+
+from .plan import (
+    Aggregate,
+    Distinct,
+    Join,
+    Limit,
+    LogicalPlan,
+    Order,
+    Project,
+    Select,
+    TableScan,
+    TopN,
+)
+from .parser import parse_tql, to_tql
+from .binder import bind, plan_schema, Catalog
+
+__all__ = [
+    "LogicalPlan",
+    "TableScan",
+    "Select",
+    "Project",
+    "Join",
+    "Aggregate",
+    "Order",
+    "TopN",
+    "Limit",
+    "Distinct",
+    "parse_tql",
+    "to_tql",
+    "bind",
+    "plan_schema",
+    "Catalog",
+]

@@ -1,0 +1,277 @@
+"""Logical plan nodes.
+
+Plans are immutable trees of frozen dataclasses; rewrites build new trees.
+Structural equality and hashing enable common-subexpression elimination and
+the batch processor's duplicate-query detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ...expr.ast import AggExpr, Expr
+
+
+class LogicalPlan:
+    """Base class for logical operators."""
+
+    def children(self) -> tuple["LogicalPlan", ...]:
+        return ()
+
+    def walk(self) -> Iterator["LogicalPlan"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def is_streaming(self) -> bool:
+        """Streaming operators emit rows while consuming (paper 4.1.3)."""
+        return False
+
+
+@dataclass(frozen=True)
+class TableScan(LogicalPlan):
+    """Scan a stored table by qualified name (``schema.table``)."""
+
+    table: str
+
+    def is_streaming(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Select(LogicalPlan):
+    """Row filter. The paper calls the operator Select; SQL says WHERE."""
+
+    child: LogicalPlan
+    predicate: Expr
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def is_streaming(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Project(LogicalPlan):
+    """Compute named output columns from input columns."""
+
+    child: LogicalPlan
+    items: tuple[tuple[str, Expr], ...]
+
+    def __init__(self, child: LogicalPlan, items):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "items", tuple((n, e) for n, e in items))
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def is_streaming(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Join(LogicalPlan):
+    """Equi-join. ``conditions`` pairs (left_column, right_column).
+
+    The TDE represents multi-way joins as left-deep trees with the fact
+    table leftmost (paper 4.2.2); the executor builds a hash table on the
+    right input and probes with the left.
+    """
+
+    kind: str  # "inner" | "left"
+    conditions: tuple[tuple[str, str], ...]
+    left: LogicalPlan
+    right: LogicalPlan
+
+    def __init__(self, kind, conditions, left, right):
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "conditions", tuple((l, r) for l, r in conditions))
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Aggregate(LogicalPlan):
+    """Group by child columns; compute aggregate expressions.
+
+    ``groupby`` names child columns (computed keys are pre-projected by the
+    compiler). ``aggs`` maps output names to :class:`AggExpr`.
+    """
+
+    child: LogicalPlan
+    groupby: tuple[str, ...]
+    aggs: tuple[tuple[str, AggExpr], ...]
+
+    def __init__(self, child, groupby, aggs):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "groupby", tuple(groupby))
+        object.__setattr__(self, "aggs", tuple((n, a) for n, a in aggs))
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Order(LogicalPlan):
+    """Total order by ``[(column, ascending), ...]``; NULLs first."""
+
+    child: LogicalPlan
+    keys: tuple[tuple[str, bool], ...]
+
+    def __init__(self, child, keys):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "keys", tuple((k, bool(a)) for k, a in keys))
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class TopN(LogicalPlan):
+    """First ``n`` rows under ``keys`` ordering (used by top-n filters)."""
+
+    child: LogicalPlan
+    n: int
+    keys: tuple[tuple[str, bool], ...]
+
+    def __init__(self, child, n, keys):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "n", int(n))
+        object.__setattr__(self, "keys", tuple((k, bool(a)) for k, a in keys))
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Limit(LogicalPlan):
+    """First ``n`` rows in input order."""
+
+    child: LogicalPlan
+    n: int
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def is_streaming(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class WindowItem:
+    """One window/table calculation.
+
+    Supported functions (the "window and statistical functions" of the
+    paper's §1): ``row_number``, ``rank``, ``running_sum``,
+    ``running_avg``, ``window_sum``, ``window_max``, ``window_min``,
+    ``share`` (percent of partition total).
+    """
+
+    alias: str
+    func: str
+    arg: Expr | None
+    partition_by: tuple[str, ...]
+    order_by: tuple[tuple[str, bool], ...]
+
+    SUPPORTED = (
+        "row_number",
+        "rank",
+        "running_sum",
+        "running_avg",
+        "window_sum",
+        "window_max",
+        "window_min",
+        "share",
+    )
+    NEEDS_ARG = frozenset(
+        {"running_sum", "running_avg", "window_sum", "window_max", "window_min", "share"}
+    )
+    NEEDS_ORDER = frozenset({"row_number", "rank", "running_sum", "running_avg"})
+
+    def __init__(self, alias, func, arg, partition_by=(), order_by=()):
+        object.__setattr__(self, "alias", alias)
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "arg", arg)
+        object.__setattr__(self, "partition_by", tuple(partition_by))
+        object.__setattr__(self, "order_by", tuple((k, bool(a)) for k, a in order_by))
+
+
+@dataclass(frozen=True)
+class Window(LogicalPlan):
+    """Window calculations over partitions (stop-and-go).
+
+    The output contains every input column plus one column per item; rows
+    come out sorted by (partition, order) of the *first* item — window
+    evaluation imposes that physical order, like a Tableau table calc
+    addressing.
+    """
+
+    child: LogicalPlan
+    items: tuple[WindowItem, ...]
+
+    def __init__(self, child, items):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "items", tuple(items))
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Distinct(LogicalPlan):
+    """Distinct rows over the given columns.
+
+    Front-end sugar: the compiler rewrites it to an Aggregate with no
+    aggregate expressions ("expressing SELECT DISTINCT as a GROUP BY
+    query", paper 4.1.2).
+    """
+
+    child: LogicalPlan
+    columns: tuple[str, ...]
+
+    def __init__(self, child, columns):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "columns", tuple(columns))
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+
+def replace_children(plan: LogicalPlan, new_children: tuple[LogicalPlan, ...]) -> LogicalPlan:
+    """Rebuild ``plan`` with different children (rewrite helper)."""
+    if isinstance(plan, TableScan):
+        return plan
+    if isinstance(plan, Select):
+        return Select(new_children[0], plan.predicate)
+    if isinstance(plan, Project):
+        return Project(new_children[0], plan.items)
+    if isinstance(plan, Join):
+        return Join(plan.kind, plan.conditions, new_children[0], new_children[1])
+    if isinstance(plan, Aggregate):
+        return Aggregate(new_children[0], plan.groupby, plan.aggs)
+    if isinstance(plan, Order):
+        return Order(new_children[0], plan.keys)
+    if isinstance(plan, TopN):
+        return TopN(new_children[0], plan.n, plan.keys)
+    if isinstance(plan, Limit):
+        return Limit(new_children[0], plan.n)
+    if isinstance(plan, Distinct):
+        return Distinct(new_children[0], plan.columns)
+    if isinstance(plan, Window):
+        return Window(new_children[0], plan.items)
+    raise TypeError(f"unknown plan node {type(plan).__name__}")
+
+
+def transform_up(plan: LogicalPlan, fn) -> LogicalPlan:
+    """Bottom-up rewrite: apply ``fn`` to each node after its children."""
+    kids = plan.children()
+    if kids:
+        new_kids = tuple(transform_up(k, fn) for k in kids)
+        if new_kids != kids:
+            plan = replace_children(plan, new_kids)
+    return fn(plan)

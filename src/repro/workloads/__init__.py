@@ -1,0 +1,31 @@
+"""Deterministic synthetic workloads standing in for the paper's data.
+
+The paper's examples run on the FAA Flights On-Time dataset and on
+proprietary customer traffic; we substitute seeded generators with the
+same schema and realistic skew (Zipf-ish carrier/market popularity,
+seasonal delays, rare cancellations).
+"""
+
+from .faa import (
+    CARRIERS,
+    MARKETS,
+    STATES,
+    FlightsDataset,
+    flights_model,
+    generate_flights,
+)
+from .dashboards import fig1_dashboard, fig2_dashboard
+from .traffic import Interaction, TrafficGenerator
+
+__all__ = [
+    "CARRIERS",
+    "MARKETS",
+    "STATES",
+    "FlightsDataset",
+    "generate_flights",
+    "flights_model",
+    "fig1_dashboard",
+    "fig2_dashboard",
+    "TrafficGenerator",
+    "Interaction",
+]

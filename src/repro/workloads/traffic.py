@@ -1,0 +1,89 @@
+"""Multi-user traffic generation (paper 3.2).
+
+"An extreme example of this is seen in Tableau Public ... The
+user-generated traffic is saturated by initial load requests, as many
+viewers just read content with the initial state of a dashboard and make
+further interactions rarely."
+
+The generator emits a deterministic stream of events: users pick
+dashboards by Zipf popularity; each visit is an initial load optionally
+followed by a geometric number of interactions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..dashboard.model import Dashboard
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One traffic event."""
+
+    user: str
+    dashboard: str
+    kind: str  # "load" | "select" | "clear"
+    zone: str | None = None
+    values: tuple[Any, ...] = ()
+
+
+class TrafficGenerator:
+    """Seeded event stream over a set of dashboards."""
+
+    def __init__(
+        self,
+        dashboards: list[Dashboard],
+        *,
+        n_users: int = 20,
+        seed: int = 1,
+        zipf_s: float = 1.2,
+        interaction_rate: float = 0.2,
+        selection_domains: dict[str, dict[str, list[Any]]] | None = None,
+    ):
+        """``selection_domains`` maps dashboard name → zone → candidate
+        values a user may select in that zone (only zones with outgoing
+        actions are eligible)."""
+        if not dashboards:
+            raise WorkloadError("traffic needs at least one dashboard")
+        self.dashboards = dashboards
+        self.n_users = n_users
+        self.seed = seed
+        self.interaction_rate = interaction_rate
+        self.selection_domains = selection_domains or {}
+        weights = [1.0 / (rank + 1) ** zipf_s for rank in range(len(dashboards))]
+        total = sum(weights)
+        self.popularity = [w / total for w in weights]
+
+    def events(self, n_visits: int) -> Iterator[Interaction]:
+        """Yield the event stream for ``n_visits`` dashboard visits."""
+        rng = random.Random(self.seed)
+        for _visit in range(n_visits):
+            user = f"user{rng.randrange(self.n_users)}"
+            dash = rng.choices(self.dashboards, weights=self.popularity)[0]
+            yield Interaction(user, dash.name, "load")
+            while rng.random() < self.interaction_rate:
+                event = self._random_interaction(rng, user, dash)
+                if event is None:
+                    break
+                yield event
+
+    def _random_interaction(
+        self, rng: random.Random, user: str, dash: Dashboard
+    ) -> Interaction | None:
+        domains = self.selection_domains.get(dash.name, {})
+        sources = [
+            name
+            for name in domains
+            if name in dash.zones and dash.actions_from(name)
+        ]
+        if not sources:
+            return None
+        zone = rng.choice(sources)
+        values = domains[zone]
+        k = max(1, min(len(values), int(rng.gauss(1.5, 1.0))))
+        chosen = tuple(rng.sample(values, k))
+        return Interaction(user, dash.name, "select", zone, chosen)

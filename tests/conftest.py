@@ -1,0 +1,72 @@
+"""Shared fixtures: a small deterministic star-schema engine."""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.tde import DataEngine
+from repro.tde.optimizer.parallel import PlannerOptions
+
+CARRIERS = ["AA", "UA", "DL", "WN", "B6", "AS"]
+MARKETS = ["LAX-SFO", "JFK-BOS", "HNL-OGG", "ORD-DEN", "SEA-PDX"]
+
+
+def build_flights_engine(
+    n: int = 20_000,
+    *,
+    seed: int = 7,
+    max_dop: int = 4,
+    min_work_per_fraction: float = 2_000.0,
+) -> DataEngine:
+    """A miniature FAA-like star schema with declared constraints.
+
+    Rows are sorted by date and the date column is RLE-encoded, matching
+    the layout the paper's experiments rely on (sections 4.2.3 and 4.3).
+    """
+    rng = random.Random(seed)
+    engine = DataEngine(
+        "faa",
+        options=PlannerOptions(max_dop=max_dop, min_work_per_fraction=min_work_per_fraction),
+    )
+    days = sorted(rng.randrange(16071, 16436) for _ in range(n))  # the year 2014
+    data = {
+        "date_": [dt.date(1970, 1, 1) + dt.timedelta(days=d) for d in days],
+        "carrier_id": [rng.randrange(len(CARRIERS)) for _ in range(n)],
+        "market_id": [rng.randrange(len(MARKETS)) for _ in range(n)],
+        "delay": [round(rng.gauss(10, 20), 3) for _ in range(n)],
+        "distance": [rng.randrange(100, 3000) for _ in range(n)],
+        "cancelled": [rng.random() < 0.02 for _ in range(n)],
+    }
+    engine.load_pydict(
+        "Extract.flights", data, sort_keys=["date_"], encodings={"date_": "rle"}
+    )
+    engine.load_pydict(
+        "Extract.carriers",
+        {"id": list(range(len(CARRIERS))), "name": CARRIERS},
+    )
+    engine.load_pydict(
+        "Extract.markets",
+        {"mid": list(range(len(MARKETS))), "market": MARKETS},
+    )
+    engine.declare_unique("Extract.carriers", ["id"])
+    engine.declare_unique("Extract.markets", ["mid"])
+    engine.declare_foreign_key(
+        "Extract.flights", ["carrier_id"], "Extract.carriers", ["id"], total=True, onto=True
+    )
+    engine.declare_foreign_key(
+        "Extract.flights", ["market_id"], "Extract.markets", ["mid"], total=True, onto=True
+    )
+    return engine
+
+
+@pytest.fixture(scope="session")
+def flights_engine() -> DataEngine:
+    return build_flights_engine()
+
+
+@pytest.fixture(scope="session")
+def tiny_engine() -> DataEngine:
+    return build_flights_engine(n=500, seed=3, max_dop=2, min_work_per_fraction=100.0)

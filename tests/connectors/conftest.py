@@ -1,0 +1,23 @@
+"""Connector test fixtures: a fast (no-sleep) simulated server."""
+
+import pytest
+
+from repro.connectors import SimDbDataSource, SimulatedDatabase
+from repro.connectors.simdb import ServerProfile
+from repro.tde.storage import Table
+
+
+@pytest.fixture()
+def sim_source():
+    db = SimulatedDatabase("testdb", ServerProfile(time_scale=0))
+    db.load_table(
+        "Extract.orders",
+        Table.from_pydict(
+            {
+                "region": ["east", "west", "east", "north", "west"],
+                "amount": [10.0, 20.0, 30.0, 40.0, 50.0],
+                "year": [2013, 2014, 2014, 2014, 2015],
+            }
+        ),
+    )
+    return SimDbDataSource(db)

@@ -1,0 +1,107 @@
+"""Query fusion and batch-graph tests (paper 3.3, 3.4)."""
+
+import pytest
+
+from repro.core.batch import build_batch_graph
+from repro.core.fusion import fuse_batch
+from repro.queries import CategoricalFilter
+from repro.queries.postops import apply_post_ops
+from tests.core.conftest import AVG_DELAY, COUNT, MIN_DELAY, SUM_DELAY, spec
+
+
+class TestFusion:
+    def test_same_relation_fuses(self):
+        a = spec(dimensions=("name",), measures=(("n", COUNT),))
+        b = spec(dimensions=("name",), measures=(("s", SUM_DELAY),))
+        fused = fuse_batch([a, b])
+        assert len(fused) == 1
+        assert len(fused[0].spec.measures) == 2
+        assert set(fused[0].extract_ops) == {a.canonical(), b.canonical()}
+
+    def test_shared_measures_deduplicated(self):
+        a = spec(dimensions=("name",), measures=(("n", COUNT), ("s", SUM_DELAY)))
+        b = spec(dimensions=("name",), measures=(("total", SUM_DELAY),))
+        fused = fuse_batch([a, b])
+        assert len(fused) == 1
+        assert len(fused[0].spec.measures) == 2  # SUM shared
+
+    def test_different_filters_do_not_fuse(self):
+        a = spec(dimensions=("name",), measures=(("n", COUNT),))
+        b = a.with_filters((CategoricalFilter("market_id", (1,)),))
+        assert len(fuse_batch([a, b])) == 2
+
+    def test_different_dims_do_not_fuse(self):
+        a = spec(dimensions=("name",), measures=(("n", COUNT),))
+        b = spec(dimensions=("market",), measures=(("n", COUNT),))
+        assert len(fuse_batch([a, b])) == 2
+
+    def test_disabled(self):
+        a = spec(dimensions=("name",), measures=(("n", COUNT),))
+        b = spec(dimensions=("name",), measures=(("s", SUM_DELAY),))
+        assert len(fuse_batch([a, b], enabled=False)) == 2
+
+    def test_extraction_recovers_members(self, raw_pipeline):
+        a = spec(dimensions=("name",), measures=(("n", COUNT),), order_by=(("n", False),))
+        b = spec(dimensions=("name",), measures=(("s", SUM_DELAY), ("lo", MIN_DELAY)))
+        fused = fuse_batch([a, b])
+        assert len(fused) == 1
+        fused_table = raw_pipeline.run_spec(fused[0].spec)
+        for member in (a, b):
+            extracted = apply_post_ops(fused_table, fused[0].extract_ops[member.canonical()])
+            direct = raw_pipeline.run_spec(member)
+            ordered = bool(member.order_by)
+            assert extracted.approx_equals(direct, ordered=ordered)
+
+    def test_order_limit_stripped_from_fused(self):
+        a = spec(dimensions=("name",), measures=(("n", COUNT),), limit=2)
+        b = spec(dimensions=("name",), measures=(("s", SUM_DELAY),))
+        fused = fuse_batch([a, b])
+        assert len(fused) == 1
+        assert fused[0].spec.limit is None
+        ops = fused[0].extract_ops[a.canonical()]
+        assert len(ops) == 2  # project + local topn
+
+
+class TestBatchGraph:
+    def test_paper_partition(self):
+        """A detail query feeds roll-ups; roll-ups are local."""
+        q_detail = spec(dimensions=("name", "market_id"), measures=(("n", COUNT),))
+        q_rollup = spec(dimensions=("name",), measures=(("n", COUNT),))
+        q_other = spec(dimensions=("date_",), measures=(("n", COUNT),))
+        graph = build_batch_graph([q_detail, q_rollup, q_other])
+        assert graph.remote == [0, 2]
+        assert graph.local == [1]
+        assert graph.provider_of[1] == 0
+
+    def test_chain(self):
+        q0 = spec(dimensions=("name", "market_id", "date_"), measures=(("n", COUNT),))
+        q1 = spec(dimensions=("name", "market_id"), measures=(("n", COUNT),))
+        q2 = spec(dimensions=("name",), measures=(("n", COUNT),))
+        graph = build_batch_graph([q0, q1, q2])
+        assert graph.remote == [0]
+        assert set(graph.local) == {1, 2}
+        # Both prefer the remote source as provider.
+        assert graph.provider_of[1] == 0 and graph.provider_of[2] == 0
+
+    def test_equivalent_specs_keep_one_source(self):
+        a = spec(dimensions=("name",), measures=(("n", COUNT),))
+        b = spec(dimensions=("name",), measures=(("m", COUNT),))  # same agg, alias differs
+        graph = build_batch_graph([a, b])
+        assert graph.remote == [0]
+        assert graph.local == [1]
+
+    def test_independent_queries_all_remote(self):
+        qs = [
+            spec(dimensions=("name",), measures=(("n", COUNT),)),
+            spec(dimensions=("date_",), measures=(("n", COUNT),)),
+            spec(dimensions=("market",), measures=(("n", COUNT),)),
+        ]
+        graph = build_batch_graph(qs)
+        assert graph.remote == [0, 1, 2]
+        assert graph.local == []
+
+    def test_describe(self):
+        q0 = spec(dimensions=("name", "market_id"), measures=(("n", COUNT),))
+        q1 = spec(dimensions=("name",), measures=(("n", COUNT),))
+        text = build_batch_graph([q0, q1]).describe()
+        assert "1 remote" in text and "1 local" in text

@@ -1,0 +1,273 @@
+"""Tests for the paper's future-work features (§3.2 and §7):
+
+* the cache index ("maintain an index over the cache");
+* choose_best ("the entry that requires the least post-processing");
+* the interaction prefetcher (DICE-style prediction);
+* the order-preserving parallel merge (§4.2.2 follow-up).
+"""
+
+import pytest
+
+from repro.core.cache.index import CacheIndex
+from repro.core.cache.intelligent import IntelligentCache, match_specs
+from repro.core.pipeline import QueryPipeline
+from repro.core.prefetch import InteractionPrefetcher
+from repro.dashboard import DashboardSession
+from repro.queries import CategoricalFilter, QuerySpec, TopNFilter
+from tests.core.conftest import COUNT, SUM_DELAY, spec
+
+
+# ---------------------------------------------------------------------- #
+# Cache index
+# ---------------------------------------------------------------------- #
+class TestCacheIndex:
+    def _populate(self, index: CacheIndex, specs):
+        for s in specs:
+            index.add(s.canonical(), s)
+
+    def test_candidates_superset_of_matches(self, raw_pipeline):
+        """Soundness: the index may over-approximate but never prune a
+        real match (it encodes only *necessary* conditions)."""
+        providers = [
+            spec(dimensions=("name", "market_id"), measures=(("n", COUNT),)),
+            spec(dimensions=("name",), measures=(("n", COUNT),)),
+            spec(dimensions=("date_",), measures=(("n", COUNT),)),
+            spec(
+                dimensions=("name", "market_id"),
+                measures=(("n", COUNT),),
+                filters=(CategoricalFilter("market_id", (0, 1, 2)),),
+            ),
+            spec(dimensions=("name",), measures=(("n", COUNT),), limit=3),
+            spec(
+                dimensions=("name",),
+                measures=(("n", COUNT),),
+                filters=(TopNFilter("name", COUNT, 2),),
+            ),
+        ]
+        index = CacheIndex()
+        self._populate(index, providers)
+        requests = [
+            spec(dimensions=("name",), measures=(("n", COUNT),)),
+            spec(
+                dimensions=("name",),
+                measures=(("n", COUNT),),
+                filters=(CategoricalFilter("market_id", (1,)),),
+            ),
+            spec(dimensions=("market_id",), measures=(("n", COUNT),)),
+            spec(measures=(("n", COUNT),)),
+        ]
+        for request in requests:
+            survivors = set(index.candidates(request))
+            for provider in providers:
+                if provider.canonical() == request.canonical():
+                    continue
+                if match_specs(provider, request) is not None:
+                    assert provider.canonical() in survivors, (
+                        f"index pruned a real match: {provider.canonical()}"
+                    )
+
+    def test_prunes_impossible_dimensions(self):
+        index = CacheIndex()
+        self._populate(index, [spec(dimensions=("date_",), measures=(("n", COUNT),))])
+        request = spec(dimensions=("name",), measures=(("n", COUNT),))
+        assert index.candidates(request) == []
+
+    def test_prunes_truncated_and_foreign_datasource(self):
+        index = CacheIndex()
+        index.add("a", spec(dimensions=("name",), measures=(("n", COUNT),), limit=1))
+        index.add("b", QuerySpec("other", ("name",), (("n", COUNT),)))
+        request = spec(dimensions=("name",), measures=(("n", COUNT),))
+        assert index.candidates(request) == []
+
+    def test_remove_and_clear(self):
+        index = CacheIndex()
+        s = spec(dimensions=("name",), measures=(("n", COUNT),))
+        index.add(s.canonical(), s)
+        assert len(index) == 1
+        index.remove(s.canonical())
+        assert len(index) == 0
+        assert index.candidates(s) == []
+        index.add(s.canonical(), s)
+        index.clear("faa")
+        assert len(index) == 0
+
+    def test_indexed_cache_agrees_with_linear_scan(self, raw_pipeline):
+        providers = [
+            spec(dimensions=("name", "market_id"), measures=(("n", COUNT), ("s", SUM_DELAY))),
+            spec(dimensions=("date_",), measures=(("n", COUNT),)),
+        ]
+        requests = [
+            spec(dimensions=("name",), measures=(("n", COUNT),)),
+            spec(dimensions=("market_id",), measures=(("s", SUM_DELAY),)),
+            spec(dimensions=("hour",), measures=(("n", COUNT),)),
+        ]
+        plain = IntelligentCache()
+        indexed = IntelligentCache(use_index=True)
+        for p in providers:
+            table = raw_pipeline.run_spec(p)
+            plain.put(p, table)
+            indexed.put(p, table)
+        for request in requests:
+            a = plain.lookup(request)
+            b = indexed.lookup(request)
+            if a is None:
+                assert b is None
+            else:
+                assert b is not None and a.approx_equals(b, ordered=False)
+
+    def test_index_reduces_examined_entries(self, raw_pipeline):
+        indexed = IntelligentCache(use_index=True)
+        table = raw_pipeline.run_spec(spec(dimensions=("name",), measures=(("n", COUNT),)))
+        for i in range(20):
+            indexed.put(
+                spec(dimensions=("date_",), measures=((f"n{i}", COUNT),)), table
+            )
+        indexed.put(spec(dimensions=("name", "market_id"), measures=(("n", COUNT),)), table)
+        indexed.lookup(spec(dimensions=("name",), measures=(("n", COUNT),)))
+        # Only the one dimensionally-compatible entry was examined.
+        assert indexed.index.candidates_examined <= 2
+
+
+class TestChooseBest:
+    def test_picks_cheapest_provider(self, raw_pipeline):
+        wide = spec(dimensions=("date_", "name"), measures=(("n", COUNT),))
+        narrow = spec(dimensions=("name", "market_id"), measures=(("n", COUNT),))
+        request = spec(dimensions=("name",), measures=(("n", COUNT),))
+        wide_table = raw_pipeline.run_spec(wide)
+        narrow_table = raw_pipeline.run_spec(narrow)
+        assert wide_table.n_rows > narrow_table.n_rows
+        cache = IntelligentCache(choose_best=True)
+        cache.put(wide, wide_table)
+        cache.put(narrow, narrow_table)
+        served = cache.lookup(request)
+        direct = raw_pipeline.run_spec(request)
+        assert served.approx_equals(direct, ordered=False)
+        # The narrow provider must have been the one consulted.
+        entries = {s.canonical(): e for (s, _t), e in zip(cache.entries(), cache._entries.values())}
+        assert cache._entries[narrow.canonical()].uses == 1
+        assert cache._entries[wide.canonical()].uses == 0
+
+    def test_exact_match_still_wins(self, raw_pipeline):
+        s = spec(dimensions=("name",), measures=(("n", COUNT),))
+        cache = IntelligentCache(choose_best=True)
+        cache.put(s, raw_pipeline.run_spec(s))
+        assert cache.lookup(s) is not None
+        assert cache.stats.exact_hits == 1
+
+
+# ---------------------------------------------------------------------- #
+# Prefetcher
+# ---------------------------------------------------------------------- #
+class TestPrefetcher:
+    def _session(self, source, model):
+        from repro.workloads import fig2_dashboard
+
+        session = DashboardSession(fig2_dashboard(), QueryPipeline(source, model))
+        session.render()
+        return session
+
+    @pytest.fixture()
+    def fig2_session(self):
+        from repro.connectors import SimDbDataSource
+        from repro.connectors.simdb import ServerProfile
+        from repro.workloads import flights_model, generate_flights
+
+        dataset = generate_flights(4000, seed=31)
+        db = dataset.load_into_simdb(ServerProfile(time_scale=0))
+        return self._session(SimDbDataSource(db), flights_model()), db
+
+    def test_predictions_are_plausible_next_specs(self, fig2_session):
+        session, _db = fig2_session
+        prefetcher = InteractionPrefetcher(background=False, max_candidates=2)
+        session.select("market", ["LAX-SFO"])
+        predicted = prefetcher.predict(session, "market", ("LAX-SFO",))
+        assert predicted
+        for s in predicted:
+            assert any(
+                isinstance(f, CategoricalFilter) and f.field == "market" for f in s.filters
+            )
+            # Predictions never repeat the current selection.
+            for f in s.filters:
+                if isinstance(f, CategoricalFilter) and f.field == "market":
+                    assert f.values != ("LAX-SFO",)
+
+    def test_prefetch_turns_next_click_into_cache_hit(self, fig2_session):
+        session, db = fig2_session
+        prefetcher = InteractionPrefetcher(background=False, max_candidates=11)
+        session.select("market", ["LAX-SFO"])
+        prefetcher.observe(session, "market", ("LAX-SFO",))
+        queries_before = db.stats.queries
+        # The user clicks one of the predicted markets next.
+        result = session.select("market", ["JFK-BOS"])
+        assert result.remote_queries == 0
+        assert db.stats.queries == queries_before
+        assert prefetcher.stats.specs_prefetched > 0
+
+    def test_background_mode(self, fig2_session):
+        session, _db = fig2_session
+        prefetcher = InteractionPrefetcher(background=True, max_candidates=1)
+        session.select("market", ["LAX-SFO"])
+        prefetcher.observe(session, "market", ("LAX-SFO",))
+        prefetcher.wait(timeout=10)
+        assert prefetcher.stats.batches == 1
+
+    def test_no_predictions_without_actions(self, fig2_session):
+        session, _db = fig2_session
+        prefetcher = InteractionPrefetcher(background=False)
+        assert prefetcher.predict(session, "airline_name", ("Delta Air Lines",)) == []
+
+
+# ---------------------------------------------------------------------- #
+# Order-preserving parallel merge
+# ---------------------------------------------------------------------- #
+class TestOrderPreservingMerge:
+    QUERY = (
+        '(order ((delay desc) (date_ asc) (carrier_id asc) (market_id asc)'
+        ' (distance asc)) (select (> delay 25) (scan "Extract.flights")))'
+    )
+
+    def test_plan_shape_and_equivalence(self):
+        from repro.tde.exec import PMergeSorted
+        from repro.tde.exec.physical import ExecContext, execute_to_table
+        from repro.tde.optimizer.parallel import PlannerOptions
+        from tests.conftest import build_flights_engine
+
+        engine = build_flights_engine(n=6000, max_dop=4, min_work_per_fraction=500)
+        options = PlannerOptions(
+            max_dop=4, min_work_per_fraction=500, enable_order_preserving_merge=True
+        )
+        plan = engine.plan(self.QUERY, options=options)
+        assert isinstance(plan, PMergeSorted)
+        assert plan.degree > 1
+        merged = execute_to_table(plan, ExecContext())
+        assert merged.equals(engine.query_naive(self.QUERY))
+
+    def test_merge_handles_empty_fragments(self):
+        import numpy as np
+
+        from repro.tde.exec import PMergeSorted
+        from repro.tde.exec.physical import ExecContext, PScan, PSort, execute_to_table
+        from repro.tde.storage import Table
+
+        full = Table.from_pydict({"a": [2, 1]})
+        empty = Table.from_pydict({"a": []}, types={"a": full.column("a").ltype})
+        node = PMergeSorted(
+            [PSort(PScan(full), [("a", True)]), PSort(PScan(empty), [("a", True)])],
+            [("a", True)],
+        )
+        out = execute_to_table(node, ExecContext())
+        assert out.to_pydict() == {"a": [1, 2]}
+
+    def test_merge_nulls_first(self):
+        from repro.tde.exec import PMergeSorted
+        from repro.tde.exec.physical import ExecContext, PScan, PSort, execute_to_table
+        from repro.tde.storage import Table
+
+        t1 = Table.from_pydict({"a": [3, None]})
+        t2 = Table.from_pydict({"a": [1]})
+        node = PMergeSorted(
+            [PSort(PScan(t1), [("a", True)]), PSort(PScan(t2), [("a", True)])],
+            [("a", True)],
+        )
+        out = execute_to_table(node, ExecContext())
+        assert out.to_pydict() == {"a": [None, 1, 3]}

@@ -1,0 +1,339 @@
+"""Intelligent cache tests: subsumption proofs must be sound (paper 3.2).
+
+Every accepted match is verified against direct evaluation; every
+rejection case encodes a soundness hazard the matcher must refuse.
+"""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache.intelligent import IntelligentCache, enrich_spec, match_specs
+from repro.queries import CategoricalFilter, RangeFilter, TopNFilter
+from repro.queries.postops import apply_post_ops
+from tests.core.conftest import (
+    AVG_DELAY,
+    COUNT,
+    DISTINCT_MARKETS,
+    MIN_DELAY,
+    SUM_DELAY,
+    spec,
+)
+
+
+class TestMatchAccepts:
+    def test_exact(self):
+        s = spec(dimensions=("name",), measures=(("n", COUNT),))
+        match = match_specs(s, s)
+        assert match is not None and match.post_ops == ()
+
+    def test_rollup_dims(self):
+        provider = spec(dimensions=("name", "market"), measures=(("n", COUNT),))
+        request = spec(dimensions=("name",), measures=(("n", COUNT),))
+        assert match_specs(provider, request) is not None
+
+    def test_narrower_categorical_filter(self):
+        provider = spec(
+            dimensions=("name", "market_id"),
+            measures=(("n", COUNT),),
+            filters=(CategoricalFilter("market_id", (0, 1, 2, 3)),),
+        )
+        request = provider.with_filters((CategoricalFilter("market_id", (1, 3)),))
+        assert match_specs(provider, request) is not None
+
+    def test_narrower_range_filter(self):
+        provider = spec(
+            dimensions=("date_",),
+            measures=(("n", COUNT),),
+            filters=(RangeFilter("date_", dt.date(2014, 1, 1), dt.date(2014, 12, 31)),),
+        )
+        request = provider.with_filters(
+            (RangeFilter("date_", dt.date(2014, 3, 1), dt.date(2014, 4, 1)),)
+        )
+        assert match_specs(provider, request) is not None
+
+    def test_new_filter_on_grouped_column(self):
+        provider = spec(dimensions=("name", "market_id"), measures=(("n", COUNT),))
+        request = spec(
+            dimensions=("name",),
+            measures=(("n", COUNT),),
+            filters=(CategoricalFilter("market_id", (0, 2)),),
+        )
+        assert match_specs(provider, request) is not None
+
+    def test_avg_from_components(self):
+        provider = spec(
+            dimensions=("name", "market_id"),
+            measures=(("s", SUM_DELAY), ("c", AVG_DELAY.__class__("count", AVG_DELAY.arg))),
+        )
+        request = spec(dimensions=("name",), measures=(("a", AVG_DELAY),))
+        assert match_specs(provider, request) is not None
+
+    def test_order_limit_applied_locally(self):
+        provider = spec(dimensions=("name",), measures=(("n", COUNT),))
+        request = spec(
+            dimensions=("name",), measures=(("n", COUNT),), order_by=(("n", False),), limit=2
+        )
+        match = match_specs(provider, request)
+        assert match is not None and match.post_ops
+
+
+class TestMatchRejects:
+    def test_different_datasource(self):
+        a = spec(dimensions=("name",))
+        b = spec(dimensions=("name",)).__class__("other", ("name",))
+        assert match_specs(a, b) is None
+
+    def test_missing_dimension(self):
+        provider = spec(dimensions=("name",), measures=(("n", COUNT),))
+        request = spec(dimensions=("name", "market"), measures=(("n", COUNT),))
+        assert match_specs(provider, request) is None
+
+    def test_provider_filter_not_implied(self):
+        provider = spec(
+            dimensions=("name",),
+            measures=(("n", COUNT),),
+            filters=(CategoricalFilter("market_id", (0, 1)),),
+        )
+        request = spec(dimensions=("name",), measures=(("n", COUNT),))
+        assert match_specs(provider, request) is None  # provider lacks rows
+
+    def test_wider_request_filter(self):
+        provider = spec(
+            dimensions=("name", "market_id"),
+            measures=(("n", COUNT),),
+            filters=(CategoricalFilter("market_id", (0, 1)),),
+        )
+        request = provider.with_filters((CategoricalFilter("market_id", (0, 1, 2)),))
+        assert match_specs(provider, request) is None
+
+    def test_filter_on_ungrouped_column(self):
+        provider = spec(dimensions=("name",), measures=(("n", COUNT),))
+        request = spec(
+            dimensions=("name",),
+            measures=(("n", COUNT),),
+            filters=(CategoricalFilter("market_id", (0,)),),
+        )
+        assert match_specs(provider, request) is None
+
+    def test_avg_not_additive(self):
+        provider = spec(dimensions=("name", "market_id"), measures=(("a", AVG_DELAY),))
+        request = spec(dimensions=("name",), measures=(("a", AVG_DELAY),))
+        assert match_specs(provider, request) is None
+
+    def test_count_distinct_not_additive(self):
+        provider = spec(dimensions=("name", "market_id"), measures=(("u", DISTINCT_MARKETS),))
+        request = spec(dimensions=("name",), measures=(("u", DISTINCT_MARKETS),))
+        assert match_specs(provider, request) is None
+
+    def test_count_distinct_same_dims_ok(self):
+        provider = spec(dimensions=("name",), measures=(("u", DISTINCT_MARKETS),))
+        request = spec(dimensions=("name",), measures=(("u2", DISTINCT_MARKETS),))
+        assert match_specs(provider, request) is not None
+
+    def test_truncated_provider(self):
+        provider = spec(dimensions=("name",), measures=(("n", COUNT),), limit=2)
+        request = spec(dimensions=("name",), measures=(("n", COUNT),))
+        assert match_specs(provider, request) is None
+
+    def test_topn_filters_must_agree(self):
+        provider = spec(
+            dimensions=("name",),
+            measures=(("n", COUNT),),
+            filters=(TopNFilter("name", COUNT, 5),),
+        )
+        request = spec(dimensions=("name",), measures=(("n", COUNT),))
+        assert match_specs(provider, request) is None
+        assert match_specs(provider, provider.with_filters(provider.filters)) is not None
+
+    def test_topn_with_narrowed_filters_rejected(self):
+        """Regression: the top-n surviving set depends on sibling filters,
+        so a provider with a TopNFilter cannot answer a request that
+        narrows (or adds) other filters — re-ranking would be required."""
+        provider = spec(
+            dimensions=("code", "market_id"),
+            measures=(("n", COUNT),),
+            filters=(TopNFilter("code", COUNT, 5),),
+        )
+        request = provider.with_filters(
+            (TopNFilter("code", COUNT, 5), CategoricalFilter("market_id", (1,)))
+        )
+        assert match_specs(provider, request) is None
+
+    def test_exclude_vs_include(self):
+        provider = spec(
+            dimensions=("name", "market_id"),
+            measures=(("n", COUNT),),
+            filters=(CategoricalFilter("market_id", (0, 1, 2)),),
+        )
+        request = provider.with_filters((CategoricalFilter("market_id", (3,), exclude=True),))
+        assert match_specs(provider, request) is None
+
+    def test_exclude_subsumption(self):
+        provider = spec(
+            dimensions=("name", "market_id"),
+            measures=(("n", COUNT),),
+            filters=(CategoricalFilter("market_id", (9,), exclude=True),),
+        )
+        request = provider.with_filters(
+            (CategoricalFilter("market_id", (9, 3), exclude=True),)
+        )
+        assert match_specs(provider, request) is not None
+
+
+class TestMatchSoundness:
+    """Accepted matches must produce the same table as direct evaluation."""
+
+    PAIRS = [
+        # (provider kwargs, request kwargs)
+        (
+            dict(dimensions=("name", "market_id"), measures=(("n", COUNT), ("s", SUM_DELAY))),
+            dict(dimensions=("name",), measures=(("n", COUNT), ("s", SUM_DELAY))),
+        ),
+        (
+            dict(
+                dimensions=("name", "market_id"),
+                measures=(("s", SUM_DELAY), ("c", COUNT), ("cd", AVG_DELAY.__class__("count", AVG_DELAY.arg))),
+            ),
+            dict(dimensions=("market_id",), measures=(("a", AVG_DELAY),)),
+        ),
+        (
+            dict(
+                dimensions=("name", "market_id"),
+                measures=(("n", COUNT),),
+                filters=(CategoricalFilter("market_id", (0, 1, 2, 3, 4)),),
+            ),
+            dict(
+                dimensions=("name",),
+                measures=(("n", COUNT),),
+                filters=(CategoricalFilter("market_id", (1, 4)),),
+                order_by=(("n", False),),
+                limit=3,
+            ),
+        ),
+        (
+            dict(dimensions=("date_", "name"), measures=(("lo", MIN_DELAY),)),
+            dict(
+                dimensions=("name",),
+                measures=(("lo", MIN_DELAY),),
+                filters=(RangeFilter("date_", dt.date(2014, 2, 1), dt.date(2014, 7, 1)),),
+            ),
+        ),
+    ]
+
+    @pytest.mark.parametrize("idx", range(len(PAIRS)))
+    def test_served_equals_direct(self, idx, raw_pipeline):
+        provider_kwargs, request_kwargs = self.PAIRS[idx]
+        provider = spec(**provider_kwargs)
+        request = spec(**request_kwargs)
+        match = match_specs(provider, request)
+        assert match is not None
+        provider_table = raw_pipeline.run_spec(provider)
+        served = apply_post_ops(provider_table, match.post_ops)
+        direct = raw_pipeline.run_spec(request)
+        ordered = bool(request.order_by)
+        assert served.approx_equals(direct, ordered=ordered, rel=1e-7, abs_tol=1e-7)
+
+
+class TestCacheBehaviour:
+    def test_first_match_vs_best_match(self):
+        wide = spec(dimensions=("name", "market_id", "date_"), measures=(("n", COUNT),))
+        narrow = spec(dimensions=("name", "market_id"), measures=(("n", COUNT),))
+        request = spec(dimensions=("name",), measures=(("n", COUNT),))
+        # Both providers match; choose_best should pick the narrower one.
+        assert match_specs(wide, request) is not None
+        assert match_specs(narrow, request) is not None
+
+    def test_stats_and_eviction(self, raw_pipeline):
+        from repro.core.cache.eviction import EvictionPolicy
+
+        cache = IntelligentCache(EvictionPolicy(max_entries=2))
+        specs = [
+            spec(dimensions=("name",), measures=((f"n{i}", COUNT),)) for i in range(4)
+        ]
+        for s in specs:
+            cache.put(s, raw_pipeline.run_spec(s))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+
+    def test_invalidate_by_datasource(self, raw_pipeline):
+        cache = IntelligentCache()
+        s = spec(dimensions=("name",), measures=(("n", COUNT),))
+        cache.put(s, raw_pipeline.run_spec(s))
+        assert cache.invalidate("other") == 0
+        assert cache.invalidate("faa") == 1
+        assert cache.lookup(s) is None
+
+    def test_lookup_counts(self, raw_pipeline):
+        cache = IntelligentCache()
+        provider = spec(dimensions=("name", "market_id"), measures=(("n", COUNT),))
+        cache.put(provider, raw_pipeline.run_spec(provider))
+        assert cache.lookup(provider) is not None
+        assert cache.stats.exact_hits == 1
+        rollup = spec(dimensions=("name",), measures=(("n", COUNT),))
+        assert cache.lookup(rollup) is not None
+        assert cache.stats.subsumption_hits == 1
+        miss = spec(dimensions=("date_",), measures=(("n", COUNT),))
+        assert cache.lookup(miss) is None
+        assert cache.stats.misses == 1
+
+
+class TestEnrichment:
+    def test_filter_fields_become_dims(self):
+        s = spec(
+            dimensions=("name",),
+            measures=(("n", COUNT),),
+            filters=(CategoricalFilter("market_id", (0, 1)),),
+        )
+        enriched = enrich_spec(s)
+        assert "market_id" in enriched.dimensions
+        assert match_specs(enriched, s) is not None
+
+    def test_avg_gets_components(self):
+        s = spec(dimensions=("name",), measures=(("a", AVG_DELAY),))
+        enriched = enrich_spec(s)
+        funcs = sorted(agg.func for _n, agg in enriched.measures)
+        assert funcs == ["avg", "count", "sum"]
+
+    def test_reuse_fields(self):
+        s = spec(dimensions=("name",), measures=(("n", COUNT),))
+        enriched = enrich_spec(s, reuse_fields=frozenset({"market_id"}))
+        assert "market_id" in enriched.dimensions
+
+    def test_count_distinct_blocks_widening(self):
+        s = spec(
+            dimensions=("name",),
+            measures=(("u", DISTINCT_MARKETS),),
+            filters=(CategoricalFilter("date_", (dt.date(2014, 1, 1),)),),
+        )
+        enriched = enrich_spec(s, reuse_fields=frozenset({"market_id"}))
+        assert enriched.dimensions == ("name",)
+        assert match_specs(enriched, s) is not None
+
+    def test_order_limit_dropped(self):
+        s = spec(dimensions=("name",), measures=(("n", COUNT),), order_by=(("n", False),), limit=2)
+        enriched = enrich_spec(s)
+        assert enriched.order_by == () and enriched.limit is None
+        assert match_specs(enriched, s) is not None
+
+
+@given(
+    provider_values=st.frozensets(st.integers(min_value=0, max_value=9), min_size=1, max_size=10),
+    request_values=st.frozensets(st.integers(min_value=0, max_value=9), min_size=1, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_categorical_subsumption_property(provider_values, request_values):
+    """Match accepted iff request values ⊆ provider values; accepted
+    matches stay sound under direct evaluation (checked on a sample)."""
+    provider = spec(
+        dimensions=("name", "market_id"),
+        measures=(("n", COUNT),),
+        filters=(CategoricalFilter("market_id", tuple(sorted(provider_values))),),
+    )
+    request = provider.with_filters(
+        (CategoricalFilter("market_id", tuple(sorted(request_values))),)
+    )
+    match = match_specs(provider, request)
+    assert (match is not None) == (request_values <= provider_values)

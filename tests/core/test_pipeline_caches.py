@@ -1,0 +1,216 @@
+"""Pipeline integration tests + literal/distributed/persisted caches."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.cache.distributed import (
+    DistributedQueryCache,
+    KeyValueStore,
+    deserialize_table,
+    serialize_table,
+)
+from repro.core.cache.literal import LiteralCache
+from repro.core.cache.persistence import (
+    load_intelligent_cache,
+    save_intelligent_cache,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.core.cache.intelligent import IntelligentCache
+from repro.core.pipeline import PipelineOptions, QueryPipeline
+from repro.queries import CategoricalFilter, RangeFilter, TopNFilter
+from repro.tde.storage import Table
+from tests.core.conftest import (
+    AVG_DELAY,
+    COUNT,
+    DISTINCT_MARKETS,
+    SUM_DELAY,
+    make_model,
+    make_source,
+    spec,
+)
+
+
+class TestPipeline:
+    def test_single_remote_for_fusable_batch(self, source, model):
+        pipe = QueryPipeline(source, model)
+        batch = [
+            spec(dimensions=("name",), measures=(("n", COUNT), ("a", AVG_DELAY))),
+            spec(dimensions=("name",), measures=(("s", SUM_DELAY),)),
+            spec(measures=(("total", COUNT),)),
+        ]
+        result = pipe.run_batch(batch)
+        assert result.remote_queries == 1
+        assert result.fused_away == 1
+        assert result.batch_local == 1
+        assert len(result.tables) == 3
+
+    def test_interaction_served_from_cache(self, source, model):
+        pipe = QueryPipeline(source, model)
+        base = spec(
+            dimensions=("name",),
+            measures=(("n", COUNT),),
+            filters=(CategoricalFilter("market_id", (0, 1, 2, 3)),),
+        )
+        pipe.run_batch([base])
+        narrowed = base.with_filters((CategoricalFilter("market_id", (1, 2)),))
+        result = pipe.run_batch([narrowed])
+        assert result.remote_queries == 0
+        assert result.cache_hits == 1
+
+    def test_results_match_raw(self, source, model, raw_pipeline):
+        pipe = QueryPipeline(source, model)
+        batch = [
+            spec(dimensions=("name",), measures=(("n", COUNT), ("a", AVG_DELAY))),
+            spec(dimensions=("name",), measures=(("s", SUM_DELAY),)),
+            spec(
+                dimensions=("market",),
+                measures=(("n", COUNT),),
+                filters=(TopNFilter("market", COUNT, 3),),
+                order_by=(("n", False),),
+            ),
+            spec(
+                dimensions=("date_",),
+                measures=(("n", COUNT),),
+                filters=(RangeFilter("date_", dt.date(2014, 2, 1), dt.date(2014, 5, 1)),),
+            ),
+            spec(measures=(("u", DISTINCT_MARKETS),)),
+        ]
+        result = pipe.run_batch(batch)
+        for s in batch:
+            direct = raw_pipeline.run_spec(s)
+            assert result.table_for(s).approx_equals(
+                direct, ordered=bool(s.order_by), rel=1e-7, abs_tol=1e-7
+            ), s.canonical()
+
+    def test_repeat_batch_hits_everything(self, source, model):
+        pipe = QueryPipeline(source, model)
+        batch = [
+            spec(dimensions=("name",), measures=(("n", COUNT),)),
+            spec(dimensions=("market",), measures=(("n", COUNT),)),
+        ]
+        pipe.run_batch(batch)
+        again = pipe.run_batch(batch)
+        assert again.remote_queries == 0
+        assert again.cache_hits == 2
+
+    def test_literal_cache_catches_post_compile_duplicates(self, source, model):
+        # Intelligent cache off: only the text-keyed cache can help.
+        options = PipelineOptions(
+            enable_intelligent_cache=False, enrich_for_reuse=False, enable_batch_graph=False
+        )
+        pipe = QueryPipeline(source, model, options=options)
+        s = spec(dimensions=("name",), measures=(("n", COUNT),))
+        pipe.run_batch([s])
+        again = pipe.run_batch([s])
+        assert again.remote_queries == 0
+        assert again.literal_hits == 1
+
+    def test_invalidate_purges(self, source, model):
+        pipe = QueryPipeline(source, model)
+        s = spec(dimensions=("name",), measures=(("n", COUNT),))
+        pipe.run_batch([s])
+        pipe.invalidate()
+        result = pipe.run_batch([s])
+        assert result.remote_queries == 1
+
+    def test_everything_off_still_correct(self, source, model, raw_pipeline):
+        s = spec(dimensions=("name",), measures=(("a", AVG_DELAY),))
+        direct = raw_pipeline.run_spec(s)
+        assert raw_pipeline.run_spec(s).approx_equals(direct, ordered=False)
+
+    def test_duplicate_specs_in_batch(self, source, model):
+        pipe = QueryPipeline(source, model)
+        s = spec(dimensions=("name",), measures=(("n", COUNT),))
+        result = pipe.run_batch([s, s, s])
+        assert result.remote_queries == 1
+        assert len(result.tables) == 1
+
+
+class TestLiteralCache:
+    def test_hit_miss(self):
+        cache = LiteralCache()
+        table = Table.from_pydict({"a": [1]})
+        assert cache.get("k") is None
+        cache.put("k", "ds", table)
+        assert cache.get("k").equals(table)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_invalidate(self):
+        cache = LiteralCache()
+        cache.put("k1", "ds1", Table.from_pydict({"a": [1]}))
+        cache.put("k2", "ds2", Table.from_pydict({"a": [2]}))
+        assert cache.invalidate("ds1") == 1
+        assert len(cache) == 1
+
+
+class TestDistributedCache:
+    def test_serialization_roundtrip(self):
+        table = Table.from_pydict({"a": [1, None], "s": ["x", "y"]})
+        assert deserialize_table(serialize_table(table)).equals(table)
+
+    def test_l1_over_l2(self):
+        store = KeyValueStore(latency_s=0.0)
+        node_a = DistributedQueryCache(store, "a")
+        node_b = DistributedQueryCache(store, "b")
+        table = Table.from_pydict({"a": [1]})
+        node_a.put("k", table)
+        # Node B was never warmed locally; the shared store serves it.
+        assert node_b.get("k").equals(table)
+        assert node_b.l2_hits == 1
+        # Second read on B comes from its own L1.
+        assert node_b.get("k").equals(table)
+        assert node_b.l1_hits == 1
+        # Node A reads from its L1 directly.
+        assert node_a.get("k").equals(table)
+        assert node_a.l1_hits == 1
+
+    def test_l1_disabled(self):
+        store = KeyValueStore(latency_s=0.0)
+        node = DistributedQueryCache(store, "a", use_l1=False)
+        node.put("k", Table.from_pydict({"a": [1]}))
+        node.get("k")
+        node.get("k")
+        assert node.l1_hits == 0 and node.l2_hits == 2
+
+    def test_miss(self):
+        node = DistributedQueryCache(KeyValueStore(latency_s=0.0), "a")
+        assert node.get("nope") is None
+        assert node.misses == 1
+
+
+class TestPersistence:
+    def test_spec_json_roundtrip(self):
+        s = spec(
+            dimensions=("name",),
+            measures=(("a", AVG_DELAY), ("u", DISTINCT_MARKETS)),
+            filters=(
+                CategoricalFilter("market_id", (1, 2)),
+                RangeFilter("date_", dt.date(2014, 1, 1), dt.date(2015, 1, 1)),
+                TopNFilter("name", COUNT, 5),
+                CategoricalFilter("code", ("AA",), exclude=True),
+            ),
+            order_by=(("a", False),),
+            limit=7,
+        )
+        assert spec_from_json(spec_to_json(s)) == s
+
+    def test_save_load(self, tmp_path, source, model):
+        pipe = QueryPipeline(source, model)
+        s = spec(dimensions=("name",), measures=(("n", COUNT),))
+        expected = pipe.run_spec(s)
+        path = tmp_path / "cache.zip"
+        assert save_intelligent_cache(pipe.intelligent_cache, path) >= 1
+        # A brand-new session loads the persisted cache: no remote queries.
+        restored = load_intelligent_cache(path)
+        fresh = QueryPipeline(make_source(), make_model(), intelligent_cache=restored)
+        result = fresh.run_batch([s])
+        assert result.remote_queries == 0
+        assert result.table_for(s).approx_equals(expected, ordered=False)
+
+    def test_load_missing(self, tmp_path):
+        from repro.errors import CacheError
+
+        with pytest.raises(CacheError):
+            load_intelligent_cache(tmp_path / "absent.zip")

@@ -1,0 +1,246 @@
+"""Query spec and compiler tests (paper 3.1)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.connectors import SimDbDataSource, SimulatedDatabase, TdeDataSource
+from repro.connectors.simdb import ServerProfile
+from repro.errors import BindError, WorkloadError
+from repro.expr.ast import AggExpr, Call, ColumnRef, Literal
+from repro.queries import (
+    CategoricalFilter,
+    CompiledQuery,
+    DataSourceModel,
+    JoinSpec,
+    QuerySpec,
+    RangeFilter,
+    TopNFilter,
+    apply_post_ops,
+    compile_spec,
+)
+from repro.sql.dialects import ANSI, QUIRKDB
+from tests.conftest import build_flights_engine
+
+ENGINE = build_flights_engine(n=3000, seed=13)
+TDE = TdeDataSource(ENGINE)
+COUNT = AggExpr("count")
+AVG_DELAY = AggExpr("avg", ColumnRef("delay"))
+
+
+def _model(**kwargs) -> DataSourceModel:
+    return DataSourceModel(
+        "faa",
+        "Extract.flights",
+        joins=(JoinSpec("Extract.carriers", (("carrier_id", "id"),)),),
+        **kwargs,
+    )
+
+
+def _quirk_source():
+    db = SimulatedDatabase("quirk", ServerProfile(dialect=QUIRKDB, time_scale=0))
+    for s, t, tab in ENGINE.database.iter_tables():
+        db.load_table(f"{s}.{t}", tab)
+    return SimDbDataSource(db)
+
+
+def _ansi_source():
+    db = SimulatedDatabase("ansi", ServerProfile(time_scale=0))
+    for s, t, tab in ENGINE.database.iter_tables():
+        db.load_table(f"{s}.{t}", tab)
+    return SimDbDataSource(db)
+
+
+def _run(compiled: CompiledQuery, source):
+    conn = source.connect()
+    try:
+        for name, table in compiled.temp_tables.items():
+            conn.create_temp_table(name, table)
+        return apply_post_ops(conn.execute(compiled.text), compiled.post_ops)
+    finally:
+        conn.close()
+
+
+class TestSpec:
+    def test_needs_dims_or_measures(self):
+        with pytest.raises(WorkloadError):
+            QuerySpec("faa")
+
+    def test_canonical_is_stable(self):
+        a = QuerySpec("faa", ("x",), filters=(CategoricalFilter("f", ("b", "a")),))
+        b = QuerySpec("faa", ("x",), filters=(CategoricalFilter("f", ("a", "b")),))
+        assert a.canonical() == b.canonical()  # value order does not matter
+
+    def test_canonical_distinguishes(self):
+        a = QuerySpec("faa", ("x",))
+        b = QuerySpec("faa", ("x",), limit=5)
+        assert a.canonical() != b.canonical()
+
+    def test_range_filter_needs_bound(self):
+        with pytest.raises(WorkloadError):
+            RangeFilter("f")
+
+    def test_fields_used(self):
+        spec = QuerySpec(
+            "faa",
+            ("name",),
+            (("a", AVG_DELAY),),
+            (TopNFilter("name", AggExpr("sum", ColumnRef("distance")), 3),),
+            order_by=(("a", False),),
+        )
+        assert spec.fields_used() == {"name", "delay", "distance"}
+
+
+class TestCompileFull:
+    def test_tql_text(self):
+        spec = QuerySpec("faa", ("name",), (("n", COUNT),))
+        compiled = compile_spec(spec, _model(), TDE)
+        assert compiled.language == "tql"
+        assert compiled.text.startswith("(aggregate")
+        assert not compiled.detail_mode
+
+    def test_unknown_field(self):
+        spec = QuerySpec("faa", ("bogus",))
+        with pytest.raises(BindError):
+            compile_spec(spec, _model(), TDE)
+
+    def test_bad_order_key(self):
+        spec = QuerySpec("faa", ("name",), order_by=(("nope", True),))
+        with pytest.raises(BindError):
+            compile_spec(spec, _model(), TDE)
+
+    def test_externalization_threshold(self):
+        values = tuple(range(100))
+        spec = QuerySpec(
+            "faa", ("name",), (("n", COUNT),), (CategoricalFilter("market_id", values),)
+        )
+        compiled = compile_spec(spec, _model(), TDE, externalize_threshold=10)
+        assert len(compiled.temp_tables) == 1
+        name, table = next(iter(compiled.temp_tables.items()))
+        assert name.startswith("#tt")
+        assert table.column_names == ["market_id"]
+        assert name in compiled.text
+
+    def test_small_lists_stay_inline(self):
+        spec = QuerySpec(
+            "faa", ("name",), (("n", COUNT),), (CategoricalFilter("market_id", (1, 2)),)
+        )
+        compiled = compile_spec(spec, _model(), TDE)
+        assert not compiled.temp_tables
+        assert "(in market_id" in compiled.text
+
+    def test_literal_key_depends_on_temp_contents(self):
+        def build(values):
+            spec = QuerySpec(
+                "faa", ("name",), (("n", COUNT),), (CategoricalFilter("market_id", values),)
+            )
+            return compile_spec(spec, _model(), TDE, externalize_threshold=2)
+
+        a = build((1, 2, 3, 4))
+        b = build((1, 2, 3, 5))
+        assert a.text == b.text
+        assert a.literal_key != b.literal_key
+
+
+class TestCompileAcrossBackends:
+    SPECS = [
+        QuerySpec("faa", ("name",), (("n", COUNT), ("a", AVG_DELAY))),
+        QuerySpec(
+            "faa",
+            ("name",),
+            (("n", COUNT),),
+            (
+                CategoricalFilter("market_id", (0, 1, 2)),
+                RangeFilter("date_", dt.date(2014, 3, 1), dt.date(2014, 11, 1)),
+            ),
+            order_by=(("n", False),),
+            limit=3,
+        ),
+        QuerySpec(
+            "faa",
+            ("market",),
+            (("n", COUNT),),
+            (TopNFilter("market", COUNT, 4),),
+        ),
+        QuerySpec("faa", ("market",)),  # domain query
+        QuerySpec(
+            "faa",
+            ("name",),
+            (("u", AggExpr("count_distinct", ColumnRef("market_id"))),),
+        ),
+    ]
+
+    @pytest.mark.parametrize("idx", range(len(SPECS)))
+    def test_backends_agree(self, idx):
+        spec = self.SPECS[idx]
+        model = DataSourceModel(
+            "faa",
+            "Extract.flights",
+            joins=(
+                JoinSpec("Extract.carriers", (("carrier_id", "id"),)),
+                JoinSpec("Extract.markets", (("market_id", "mid"),)),
+            ),
+        )
+        reference = _run(compile_spec(spec, model, TDE), TDE)
+        for source in (_ansi_source(), _quirk_source()):
+            compiled = compile_spec(spec, model, source)
+            out = _run(compiled, source)
+            ordered = bool(spec.order_by)
+            assert reference.approx_equals(out, ordered=ordered) or reference.approx_equals(
+                out, ordered=False
+            )
+
+    def test_quirk_uses_detail_mode_for_topn(self):
+        spec = QuerySpec("faa", ("name",), (("n", COUNT),), (TopNFilter("name", COUNT, 2),))
+        compiled = compile_spec(spec, _model(), _quirk_source())
+        assert compiled.detail_mode
+
+    def test_quirk_strips_order_limit_without_topn(self):
+        spec = QuerySpec("faa", ("name",), (("n", COUNT),), order_by=(("n", False),), limit=2)
+        compiled = compile_spec(spec, _model(), _quirk_source())
+        assert not compiled.detail_mode
+        assert "LIMIT" not in compiled.text
+        assert len(compiled.post_ops) == 1
+
+    def test_unsupported_function_goes_local(self):
+        model = _model(
+            calculations={"upper_name": Call("substr", (ColumnRef("name"), Literal(1), Literal(3)))}
+        )
+        spec = QuerySpec("faa", ("upper_name",), (("n", COUNT),))
+        quirk = _quirk_source()
+        compiled = compile_spec(spec, model, quirk)
+        assert compiled.detail_mode  # substr missing on quirkdb
+        out = _run(compiled, quirk)
+        reference = _run(compile_spec(spec, model, TDE), TDE)
+        assert reference.equals_unordered(out)
+
+
+class TestCalculations:
+    def test_calc_dimension(self):
+        model = _model(
+            calculations={"is_far": Call(">", (ColumnRef("distance"), Literal(1500)))}
+        )
+        spec = QuerySpec("faa", ("is_far",), (("n", COUNT),))
+        out = _run(compile_spec(spec, model, TDE), TDE)
+        assert out.n_rows == 2
+        assert sum(out.to_pydict()["n"]) == 3000
+
+    def test_calc_in_measure_and_filter(self):
+        model = _model(
+            calculations={"double_delay": Call("*", (ColumnRef("delay"), Literal(2.0)))}
+        )
+        spec = QuerySpec(
+            "faa",
+            ("name",),
+            (("m", AggExpr("max", ColumnRef("double_delay"))),),
+            (RangeFilter("double_delay", 0.0, None),),
+        )
+        out = _run(compile_spec(spec, model, TDE), TDE)
+        assert all(v >= 0 for v in out.to_pydict()["m"])
+
+    def test_unknown_calc_reference(self):
+        model = _model(calculations={"c": Call("+", (ColumnRef("nope"), Literal(1)))})
+        spec = QuerySpec("faa", ("c",))
+        with pytest.raises(BindError):
+            compiled = compile_spec(spec, model, TDE)
+            _run(compiled, TDE)

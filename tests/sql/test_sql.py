@@ -1,0 +1,172 @@
+"""SQL generation/parsing tests: round trips, dialects, capabilities."""
+
+import pytest
+
+from repro.errors import CapabilityError, SqlParseError
+from repro.sql import ANSI, QUIRKDB, SQLSERVERISH, generate_sql, parse_sql
+from repro.sql.parser import (
+    CreateTempTable,
+    DropTable,
+    InsertValues,
+    SelectStatement,
+    parse_statement,
+)
+from repro.tde.tql import parse_tql
+
+
+class TestGeneration:
+    def test_simple_select(self, flights_engine):
+        sql = generate_sql(parse_tql('(select (> delay 15) (scan "Extract.flights"))'), ANSI)
+        assert sql == 'SELECT * FROM "Extract"."flights" WHERE ("delay" > 15)'
+
+    def test_aggregate(self, flights_engine):
+        sql = generate_sql(
+            parse_tql('(aggregate (carrier_id) ((n (count))) (scan "Extract.flights"))'), ANSI
+        )
+        assert 'GROUP BY "carrier_id"' in sql
+        assert 'COUNT(*) AS "n"' in sql
+
+    def test_global_aggregate_has_no_group_by(self):
+        sql = generate_sql(parse_tql('(aggregate () ((n (count))) (scan "t"))'), ANSI)
+        assert "GROUP BY" not in sql
+
+    def test_topn_becomes_order_limit(self):
+        sql = generate_sql(parse_tql('(topn 5 ((x desc)) (scan "t"))'), ANSI)
+        assert sql.endswith('ORDER BY "x" DESC LIMIT 5')
+
+    def test_quirk_quoting(self):
+        sql = generate_sql(parse_tql('(scan "t")'), QUIRKDB)
+        assert sql == "SELECT * FROM `t`"
+
+    def test_quirk_rejects_limit(self):
+        with pytest.raises(CapabilityError) as err:
+            generate_sql(parse_tql('(limit 5 (scan "t"))'), QUIRKDB)
+        assert err.value.capability == "limit"
+
+    def test_quirk_rejects_missing_function(self):
+        with pytest.raises(CapabilityError) as err:
+            generate_sql(parse_tql('(select (contains s "x") (scan "t"))'), QUIRKDB)
+        assert err.value.capability == "contains"
+
+    def test_in_list_limit(self):
+        values = " ".join(str(i) for i in range(20))
+        plan = parse_tql(f'(select (in x (list {values})) (scan "t"))')
+        with pytest.raises(CapabilityError) as err:
+            generate_sql(plan, QUIRKDB)
+        assert err.value.capability == "in_list"
+        assert "IN (" in generate_sql(plan, ANSI)
+
+    def test_function_rename(self):
+        sql = generate_sql(parse_tql('(project ((l (len s))) (scan "t"))'), SQLSERVERISH)
+        assert 'LEN("s")' in sql
+
+    def test_join_requires_catalog(self):
+        from repro.errors import SqlError
+
+        plan = parse_tql('(join inner ((a b)) (scan "t1") (scan "t2"))')
+        with pytest.raises(SqlError):
+            generate_sql(plan, ANSI)
+
+    def test_string_escaping(self):
+        sql = generate_sql(parse_tql("(select (= s \"o'brien\") (scan \"t\"))"), ANSI)
+        assert "'o''brien'" in sql
+
+    def test_empty_in_list(self):
+        sql = generate_sql(parse_tql('(select (in x (list)) (scan "t"))'), ANSI)
+        assert "(1 = 0)" in sql
+
+
+class TestParsing:
+    def test_statement_kinds(self):
+        assert isinstance(parse_statement("SELECT * FROM t"), SelectStatement)
+        assert isinstance(
+            parse_statement('CREATE TEMP TABLE "#x" AS SELECT * FROM t'), CreateTempTable
+        )
+        assert isinstance(
+            parse_statement('CREATE TEMP TABLE "#x" ("a" BIGINT, "b" VARCHAR)'),
+            CreateTempTable,
+        )
+        assert isinstance(
+            parse_statement('INSERT INTO "#x" VALUES (1, \'a\'), (2, \'b\')'), InsertValues
+        )
+        assert isinstance(parse_statement('DROP TABLE "#x"'), DropTable)
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'x', TRUE, NULL, -2.5)")
+        assert stmt.rows == ((1, "x", True, None, -2.5),)
+
+    def test_trailing_semicolon(self):
+        assert isinstance(parse_statement("SELECT * FROM t;"), SelectStatement)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT a b c FROM t",
+            "UPDATE t SET a = 1",
+            "CREATE TABLE t (a BIGINT)",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t LIMIT x",
+            "INSERT INTO t VALUES (a)",
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(SqlParseError):
+            parse_statement(bad)
+
+    def test_operator_precedence(self):
+        plan = parse_sql("SELECT * FROM t WHERE a + 2 * b < 10 OR c AND d")
+        pred = plan.predicate
+        assert pred.func == "or"
+        assert pred.args[1].func == "and"
+        left = pred.args[0]
+        assert left.func == "<"
+        assert left.args[0].func == "+"
+        assert left.args[0].args[1].func == "*"
+
+    def test_not_in(self):
+        plan = parse_sql("SELECT * FROM t WHERE x NOT IN (1, 2)")
+        assert plan.predicate.func == "not"
+        assert plan.predicate.args[0].func == "in"
+
+    def test_is_not_null(self):
+        plan = parse_sql("SELECT * FROM t WHERE x IS NOT NULL")
+        assert plan.predicate.func == "not"
+        assert plan.predicate.args[0].func == "isnull"
+
+    def test_case_expression(self):
+        plan = parse_sql("SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END AS s FROM t")
+        from repro.expr.ast import CaseWhen
+
+        assert isinstance(plan.items[0][1], CaseWhen)
+
+
+class TestExecutionRoundTrip:
+    """generate → parse → execute must equal direct execution."""
+
+    CASES = [
+        '(select (and (> delay 10) (not cancelled)) (scan "Extract.flights"))',
+        '(aggregate (carrier_id) ((n (count)) (s (sum delay)) (u (count_distinct market_id)))'
+        ' (scan "Extract.flights"))',
+        '(topn 4 ((s desc)) (aggregate (name) ((s (sum delay)))'
+        ' (join inner ((carrier_id id)) (scan "Extract.flights") (scan "Extract.carriers"))))',
+        '(project ((x (+ delay 1.0)) (c carrier_id)) (scan "Extract.flights"))',
+        '(order ((delay desc) (date_ asc) (market_id asc) (carrier_id asc) (distance asc))'
+        ' (select (> delay 55) (scan "Extract.flights")))',
+        '(distinct (name) (join left ((carrier_id id)) (scan "Extract.flights")'
+        ' (select (< id 3) (scan "Extract.carriers"))))',
+        '(aggregate () ((n (count))) (select (in carrier_id (list 0 1 5)) (scan "Extract.flights")))',
+        '(select (= (case (when cancelled "c") (else "ok")) "ok") (scan "Extract.flights"))',
+    ]
+
+    @pytest.mark.parametrize("tql", CASES)
+    @pytest.mark.parametrize("dialect", [ANSI, SQLSERVERISH])
+    def test_roundtrip(self, flights_engine, tql, dialect):
+        plan = parse_tql(tql)
+        sql = generate_sql(plan, dialect, flights_engine.catalog)
+        back = parse_sql(sql)
+        direct = flights_engine.query_naive(plan)
+        via_sql = flights_engine.query_naive(back)
+        assert direct.approx_equals(via_sql, ordered=False) or direct.approx_equals(via_sql)

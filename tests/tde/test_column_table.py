@@ -1,0 +1,210 @@
+"""Tests for Column and Table (nulls, collation, sorting, concat)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collation import CASE_INSENSITIVE
+from repro.datatypes import LogicalType
+from repro.errors import StorageError
+from repro.tde.storage import Column, Table
+
+
+class TestColumn:
+    def test_from_values_infers_type(self):
+        col = Column.from_values([1, 2, None])
+        assert col.ltype is LogicalType.INT
+        assert col.python_values() == [1, 2, None]
+
+    def test_all_null_rejected(self):
+        with pytest.raises(StorageError):
+            Column.from_values([None, None])
+
+    def test_explicit_type_for_all_null(self):
+        col = Column.from_values([None, None], LogicalType.FLOAT)
+        assert col.python_values() == [None, None]
+
+    def test_strings_dictionary_compressed_by_default(self):
+        col = Column.from_values(["a", "b", "a"])
+        assert col.is_dictionary_encoded
+        assert len(col.dictionary) == 2
+
+    def test_dates_roundtrip(self):
+        days = [dt.date(2014, 1, 1), None, dt.date(2015, 6, 30)]
+        col = Column.from_values(days)
+        assert col.ltype is LogicalType.DATE
+        assert col.python_values() == days
+
+    def test_datetimes_roundtrip(self):
+        stamps = [dt.datetime(2014, 1, 1, 12, 30, 15), dt.datetime(2014, 1, 2, 0, 0, 0, 250)]
+        col = Column.from_values(stamps)
+        assert col.ltype is LogicalType.DATETIME
+        assert col.python_values() == stamps
+
+    def test_take_preserves_nulls_and_dict(self):
+        col = Column.from_values(["x", None, "y", "x"])
+        taken = col.take(np.array([3, 1]))
+        assert taken.python_values() == ["x", None]
+        assert taken.is_dictionary_encoded
+
+    def test_slice(self):
+        col = Column.from_values([10, 20, 30, 40])
+        assert col.slice(1, 3).python_values() == [20, 30]
+
+    def test_value_at(self):
+        col = Column.from_values([1.5, None])
+        assert col.value_at(0) == 1.5
+        assert col.value_at(1) is None
+
+    def test_stats(self):
+        col = Column.from_values([3, 1, 1, None, 2])
+        st_ = col.stats
+        assert st_.null_count == 1
+        assert st_.n_distinct == 3  # NULL slots are excluded
+        assert st_.min_value == 1
+        assert st_.max_value == 3
+        assert not st_.is_sorted
+
+    def test_stats_sorted(self):
+        col = Column.from_values([1, 2, 3])
+        assert col.stats.is_sorted
+        assert col.stats.min_value == 1
+        assert col.stats.max_value == 3
+
+    def test_equals(self):
+        assert Column.from_values([1, None]).equals(Column.from_values([1, None]))
+        assert not Column.from_values([1]).equals(Column.from_values([2]))
+        assert not Column.from_values([1]).equals(Column.from_values([1.0]))
+
+    def test_mask_length_mismatch(self):
+        from repro.tde.storage.vectors import PlainVector
+
+        with pytest.raises(StorageError):
+            Column(
+                LogicalType.INT,
+                PlainVector(np.array([1, 2])),
+                null_mask=np.array([True]),
+            )
+
+
+class TestTable:
+    def test_ragged_rejected(self):
+        with pytest.raises(StorageError):
+            Table.from_pydict({"a": [1, 2], "b": [1]})
+
+    def test_project_and_drop(self):
+        t = Table.from_pydict({"a": [1], "b": [2], "c": [3]})
+        assert t.project(["c", "a"]).column_names == ["c", "a"]
+        assert t.drop(["b"]).column_names == ["a", "c"]
+
+    def test_project_keeps_contiguous_sort_prefix(self):
+        t = Table.from_pydict({"a": [1], "b": [2], "c": [3]}, sort_keys=["a", "b"])
+        assert t.project(["a", "c"]).sort_keys == ("a",)
+        assert t.project(["b", "c"]).sort_keys == ()
+
+    def test_rename(self):
+        t = Table.from_pydict({"a": [1]}, sort_keys=["a"])
+        renamed = t.rename({"a": "x"})
+        assert renamed.column_names == ["x"]
+        assert renamed.sort_keys == ("x",)
+
+    def test_rename_collision(self):
+        t = Table.from_pydict({"a": [1], "b": [2]})
+        with pytest.raises(StorageError):
+            t.rename({"a": "b"})
+
+    def test_with_column_length_check(self):
+        t = Table.from_pydict({"a": [1, 2]})
+        with pytest.raises(StorageError):
+            t.with_column("b", Column.from_values([1]))
+
+    def test_sort_nulls_first_both_directions(self):
+        t = Table.from_pydict({"a": [2, None, 1]})
+        assert t.sort_by([("a", True)]).to_pydict()["a"] == [None, 1, 2]
+        assert t.sort_by([("a", False)]).to_pydict()["a"] == [None, 2, 1]
+
+    def test_sort_multi_key_stable(self):
+        t = Table.from_pydict({"g": [1, 1, 0, 0], "v": [9, 8, 7, 6], "tag": list("abcd")})
+        out = t.sort_by([("g", True), ("v", True)])
+        assert out.to_pydict()["tag"] == ["d", "c", "b", "a"]
+
+    def test_sort_strings_with_collation(self):
+        t = Table.from_pydict(
+            {"s": ["b", "A", "a", "B"]}, collations={"s": CASE_INSENSITIVE}
+        )
+        # CI collation groups case variants under one representative.
+        out = t.sort_by([("s", True)]).to_pydict()["s"]
+        assert [v.lower() for v in out] == ["a", "a", "b", "b"]
+
+    def test_sort_uncompressed_strings_desc(self):
+        t = Table.from_pydict({"s": ["b", "a", "c"]}, compress=False)
+        assert t.sort_by([("s", False)]).to_pydict()["s"] == ["c", "b", "a"]
+
+    def test_concat(self):
+        a = Table.from_pydict({"x": [1, None], "s": ["p", "q"]})
+        b = Table.from_pydict({"x": [3], "s": [None]}, types={"s": LogicalType.STR})
+        out = Table.concat([a, b])
+        assert out.to_pydict() == {"x": [1, None, 3], "s": ["p", "q", None]}
+
+    def test_concat_schema_mismatch(self):
+        a = Table.from_pydict({"x": [1]})
+        b = Table.from_pydict({"y": [1]})
+        with pytest.raises(StorageError):
+            Table.concat([a, b])
+
+    def test_equals_unordered(self):
+        a = Table.from_pydict({"x": [1, 2], "y": ["a", "b"]})
+        b = Table.from_pydict({"x": [2, 1], "y": ["b", "a"]})
+        assert a.equals_unordered(b)
+        assert not a.equals(b)
+
+    def test_approx_equals_tolerates_float_noise(self):
+        a = Table.from_pydict({"x": [0.1 + 0.2]})
+        b = Table.from_pydict({"x": [0.3]})
+        assert a.approx_equals(b)
+        assert not a.equals(b)
+
+    def test_approx_equals_rejects_real_difference(self):
+        a = Table.from_pydict({"x": [1.0]})
+        b = Table.from_pydict({"x": [1.1]})
+        assert not a.approx_equals(b)
+
+    def test_to_rows(self):
+        t = Table.from_pydict({"a": [1, 2], "b": ["x", "y"]})
+        assert t.to_rows() == [(1, "x"), (2, "y")]
+
+    def test_bad_sort_key_rejected(self):
+        with pytest.raises(StorageError):
+            Table.from_pydict({"a": [1]}, sort_keys=["nope"])
+
+
+@given(
+    st.lists(
+        st.one_of(st.integers(min_value=-50, max_value=50), st.none()),
+        min_size=1,
+        max_size=80,
+    )
+)
+@settings(max_examples=50)
+def test_sort_property_matches_python(values):
+    t = Table.from_pydict({"a": values}, types={"a": LogicalType.INT})
+    out = t.sort_by([("a", True)]).to_pydict()["a"]
+    expected = sorted(values, key=lambda v: (v is not None, v if v is not None else 0))
+    assert out == expected
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=9), min_size=0, max_size=60),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40)
+def test_slice_concat_roundtrip(values, parts):
+    if not values:
+        return
+    t = Table.from_pydict({"a": values})
+    bounds = np.linspace(0, len(values), parts + 1).astype(int)
+    pieces = [t.slice(int(bounds[i]), int(bounds[i + 1])) for i in range(parts)]
+    assert Table.concat(pieces).to_pydict()["a"] == values

@@ -1,0 +1,158 @@
+"""Tests for the cost model and property derivation (paper 4.1.2, 4.2)."""
+
+import pytest
+
+from repro.expr import parse_sexpr
+from repro.tde.optimizer.cost import (
+    estimate_plan,
+    estimate_selectivity,
+    expr_cost,
+)
+from repro.tde.optimizer.properties import (
+    grouping_satisfied_by_order,
+    range_partition_key,
+    sorted_prefix,
+    unique_sets,
+)
+from repro.tde.tql import parse_tql
+
+
+class TestExprCost:
+    def test_string_functions_cost_more(self):
+        """The paper's 4.2.2 cost profile: string manipulation dominates."""
+        cheap = expr_cost(parse_sexpr("(+ delay 1)"))
+        stringy = expr_cost(parse_sexpr("(concat s (upper s))"))
+        assert stringy > cheap * 3
+
+    def test_in_list_cost_grows_with_size(self):
+        small = expr_cost(parse_sexpr("(in x (list 1 2))"))
+        values = " ".join(str(i) for i in range(200))
+        big = expr_cost(parse_sexpr(f"(in x (list {values}))"))
+        assert big > small + 5
+
+    def test_none_is_free(self):
+        assert expr_cost(None) == 0.0
+
+
+class TestSelectivity:
+    def test_equality_is_selective(self):
+        assert estimate_selectivity(parse_sexpr("(= x 1)")) < 0.1
+
+    def test_and_multiplies(self):
+        single = estimate_selectivity(parse_sexpr("(= x 1)"))
+        double = estimate_selectivity(parse_sexpr("(and (= x 1) (= y 2))"))
+        assert double == pytest.approx(single * single)
+
+    def test_or_adds(self):
+        single = estimate_selectivity(parse_sexpr("(= x 1)"))
+        either = estimate_selectivity(parse_sexpr("(or (= x 1) (= y 2))"))
+        assert single < either <= 2 * single
+
+    def test_not_complements(self):
+        a = estimate_selectivity(parse_sexpr("(> x 1)"))
+        assert estimate_selectivity(parse_sexpr("(not (> x 1))")) == pytest.approx(1 - a)
+
+    def test_bounded(self):
+        values = " ".join(str(i) for i in range(500))
+        assert estimate_selectivity(parse_sexpr(f"(in x (list {values}))")) <= 1.0
+
+
+class TestPlanEstimates:
+    def test_filter_reduces_rows(self, flights_engine):
+        scan = parse_tql('(scan "Extract.flights")')
+        filtered = parse_tql('(select (= carrier_id 1) (scan "Extract.flights"))')
+        cat = flights_engine.catalog
+        assert estimate_plan(filtered, cat).rows < estimate_plan(scan, cat).rows
+        assert estimate_plan(filtered, cat).cost > estimate_plan(scan, cat).cost
+
+    def test_join_keeps_probe_cardinality(self, flights_engine):
+        join = parse_tql(
+            '(join inner ((carrier_id id)) (scan "Extract.flights") (scan "Extract.carriers"))'
+        )
+        cat = flights_engine.catalog
+        assert estimate_plan(join, cat).rows == estimate_plan(
+            parse_tql('(scan "Extract.flights")'), cat
+        ).rows
+
+    def test_aggregate_compresses(self, flights_engine):
+        agg = parse_tql('(aggregate (carrier_id) ((n (count))) (scan "Extract.flights"))')
+        cat = flights_engine.catalog
+        est = estimate_plan(agg, cat)
+        assert est.rows < cat.row_count("Extract.flights")
+
+    def test_topn_and_limit_bound_rows(self, flights_engine):
+        cat = flights_engine.catalog
+        top = parse_tql('(topn 5 ((delay desc)) (scan "Extract.flights"))')
+        lim = parse_tql('(limit 7 (scan "Extract.flights"))')
+        assert estimate_plan(top, cat).rows == 5
+        assert estimate_plan(lim, cat).rows == 7
+
+
+class TestSortedPrefix:
+    def test_scan_reports_declared_order(self, flights_engine):
+        plan = parse_tql('(scan "Extract.flights")')
+        assert sorted_prefix(plan, flights_engine.catalog) == ("date_",)
+
+    def test_select_preserves(self, flights_engine):
+        plan = parse_tql('(select (> delay 1) (scan "Extract.flights"))')
+        assert sorted_prefix(plan, flights_engine.catalog) == ("date_",)
+
+    def test_project_renames(self, flights_engine):
+        plan = parse_tql('(project ((d date_) (x delay)) (scan "Extract.flights"))')
+        assert sorted_prefix(plan, flights_engine.catalog) == ("d",)
+
+    def test_project_computed_breaks_prefix(self, flights_engine):
+        plan = parse_tql('(project ((d (year date_))) (scan "Extract.flights"))')
+        assert sorted_prefix(plan, flights_engine.catalog) == ()
+
+    def test_inner_join_preserves_probe_order(self, flights_engine):
+        plan = parse_tql(
+            '(join inner ((carrier_id id)) (scan "Extract.flights") (scan "Extract.carriers"))'
+        )
+        assert sorted_prefix(plan, flights_engine.catalog) == ("date_",)
+
+    def test_left_join_does_not(self, flights_engine):
+        plan = parse_tql(
+            '(join left ((carrier_id id)) (scan "Extract.flights") (scan "Extract.carriers"))'
+        )
+        assert sorted_prefix(plan, flights_engine.catalog) == ()
+
+    def test_order_establishes(self, flights_engine):
+        plan = parse_tql('(order ((delay asc) (hour asc)) (scan "Extract.flights"))')
+        assert sorted_prefix(plan, flights_engine.catalog) == ("delay", "hour")
+
+
+class TestUniqueness:
+    def test_declared_key(self, flights_engine):
+        plan = parse_tql('(scan "Extract.carriers")')
+        assert frozenset({"id"}) in unique_sets(plan, flights_engine.catalog)
+
+    def test_aggregate_keys_unique(self, flights_engine):
+        plan = parse_tql('(aggregate (carrier_id hour) ((n (count))) (scan "Extract.flights"))')
+        assert frozenset({"carrier_id", "hour"}) in unique_sets(plan, flights_engine.catalog)
+
+    def test_join_on_unique_right_preserves_left(self, flights_engine):
+        plan = parse_tql(
+            '(join inner ((carrier_id id)) (scan "Extract.carriers")'
+            ' (scan "Extract.carriers"))'
+        )
+        # left side's declared key survives a key-unique join.
+        # (synthetic: carriers joined to itself on its key)
+        plan2 = parse_tql(
+            '(join inner ((id id)) (scan "Extract.carriers") (scan "Extract.carriers"))'
+        )
+        assert frozenset({"id"}) in unique_sets(plan2, flights_engine.catalog)
+
+
+class TestGroupingProperties:
+    def test_grouping_satisfied(self):
+        assert grouping_satisfied_by_order(("a",), ("a", "b"))
+        assert grouping_satisfied_by_order(("b", "a"), ("a", "b", "c"))
+        assert not grouping_satisfied_by_order(("c",), ("a", "b"))
+        assert not grouping_satisfied_by_order((), ("a",))
+        assert not grouping_satisfied_by_order(("a", "b"), ("a",))
+
+    def test_range_partition_key(self):
+        assert range_partition_key(("a", "b"), ("a", "c")) == "a"
+        assert range_partition_key(("b",), ("a", "b")) is None
+        assert range_partition_key(("a",), ()) is None

@@ -1,0 +1,88 @@
+"""End-to-end DataEngine tests: querying, persistence, SYS metadata."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.tde import DataEngine
+
+
+class TestEngineBasics:
+    def test_query_returns_table(self, flights_engine):
+        out = flights_engine.query('(aggregate () ((n (count))) (scan "Extract.flights"))')
+        assert out.to_pydict() == {"n": [20000]}
+
+    def test_explain_is_text(self, flights_engine):
+        text = flights_engine.explain('(scan "Extract.carriers")')
+        assert "Scan" in text
+
+    def test_missing_table(self, flights_engine):
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            flights_engine.query('(scan "Extract.nope")')
+
+    def test_drop_table(self):
+        engine = DataEngine()
+        engine.load_pydict("Extract.t", {"a": [1]})
+        assert engine.has_table("Extract.t")
+        engine.drop_table("Extract.t")
+        assert not engine.has_table("Extract.t")
+        with pytest.raises(StorageError):
+            engine.drop_table("Extract.t")
+
+    def test_replace_table(self):
+        engine = DataEngine()
+        engine.load_pydict("Extract.t", {"a": [1]})
+        with pytest.raises(StorageError):
+            engine.load_pydict("Extract.t", {"a": [2]})
+        engine.load_pydict("Extract.t", {"a": [2]}, replace=True)
+        assert engine.table("Extract.t").to_pydict() == {"a": [2]}
+
+    def test_sys_tables_queryable(self, flights_engine):
+        out = flights_engine.query('(select (= schema_name "Extract") (scan "SYS.tables"))')
+        names = out.to_pydict()["table_name"]
+        assert set(names) == {"flights", "carriers", "markets"}
+
+    def test_sys_columns_reports_encodings(self, flights_engine):
+        out = flights_engine.query(
+            '(select (and (= table_name "flights") (= column_name "date_")) (scan "SYS.columns"))'
+        )
+        assert out.to_pydict()["encoding"] == ["rle"]
+
+
+class TestPersistence:
+    def test_save_open_roundtrip(self, tmp_path, flights_engine):
+        path = tmp_path / "faa.tde"
+        flights_engine.save(path)
+        reopened = DataEngine.open(path)
+        q = '(aggregate (carrier_id) ((s (sum delay)) (n (count))) (scan "Extract.flights"))'
+        a = flights_engine.query(q)
+        b = reopened.query(q)
+        assert a.approx_equals(b, ordered=False)
+
+    def test_single_file_on_disk(self, tmp_path):
+        engine = DataEngine("mini")
+        engine.load_pydict("Extract.t", {"a": [1, 2], "s": ["x", None]})
+        path = tmp_path / "mini.tde"
+        engine.save(path)
+        assert path.is_file()
+        assert DataEngine.open(path).table("Extract.t").to_pydict() == {
+            "a": [1, 2],
+            "s": ["x", None],
+        }
+
+    def test_sort_keys_survive(self, tmp_path, flights_engine):
+        path = tmp_path / "faa.tde"
+        flights_engine.save(path)
+        reopened = DataEngine.open(path)
+        assert reopened.table("Extract.flights").sort_keys == ("date_",)
+
+    def test_open_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            DataEngine.open(tmp_path / "absent.tde")
+
+    def test_open_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.tde"
+        path.write_bytes(b"PK\x03\x04 not really")
+        with pytest.raises(Exception):
+            DataEngine.open(path)

@@ -1,0 +1,106 @@
+"""Property tests: optimized + parallel execution ≡ naive execution.
+
+This is the central correctness invariant of the reproduction: every
+rewrite (pushdown, culling, DISTINCT→GROUP BY), every physical choice
+(streaming aggregate, RLE index scan) and every parallel transformation
+(Exchange, local/global aggregation, range partitioning, shared build)
+must return the same logical result as the unoptimized serial
+interpretation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import build_flights_engine
+
+ENGINE = build_flights_engine(n=4000, seed=11, max_dop=4, min_work_per_fraction=200.0)
+
+_FILTERS = st.sampled_from(
+    [
+        "true",
+        "(> delay 12.5)",
+        "(not cancelled)",
+        "(and (> delay 0) (< delay 40))",
+        "(in carrier_id (list 0 2 4))",
+        '(= date_ (date "2014-06-15"))',
+        '(and (>= date_ (date "2014-03-01")) (< date_ (date "2014-03-08")))',
+        "(or cancelled (> distance 2500))",
+        "(= (% distance 7) 3)",
+    ]
+)
+_GROUPS = st.sampled_from(
+    [
+        ("carrier_id",),
+        ("date_",),
+        ("carrier_id", "market_id"),
+        (),
+    ]
+)
+_AGGS = st.sampled_from(
+    [
+        "((n (count)))",
+        "((s (sum delay)) (n (count)))",
+        "((a (avg delay)) (lo (min delay)) (hi (max delay)))",
+        "((u (count_distinct market_id)))",
+        "((w (sum (* delay 2.0))))",
+    ]
+)
+
+
+def _agg_query(filter_text, groups, aggs):
+    inner = f'(select {filter_text} (scan "Extract.flights"))'
+    return f"(aggregate ({' '.join(groups)}) {aggs} {inner})"
+
+
+@given(_FILTERS, _GROUPS, _AGGS)
+@settings(max_examples=40, deadline=None)
+def test_aggregate_equivalence(filter_text, groups, aggs):
+    q = _agg_query(filter_text, groups, aggs)
+    optimized = ENGINE.query(q)
+    naive = ENGINE.query_naive(q)
+    assert optimized.approx_equals(naive, ordered=False, rel=1e-7, abs_tol=1e-7)
+
+
+@given(_FILTERS, st.integers(min_value=0, max_value=20))
+@settings(max_examples=25, deadline=None)
+def test_topn_equivalence(filter_text, n):
+    q = (
+        f"(topn {n} ((delay desc) (distance asc) (carrier_id asc) (date_ asc)"
+        f' (market_id asc)) (select {filter_text} (scan "Extract.flights")))'
+    )
+    optimized = ENGINE.query(q)
+    naive = ENGINE.query_naive(q)
+    assert optimized.approx_equals(naive)
+
+
+@given(_FILTERS, _GROUPS.filter(lambda g: g))
+@settings(max_examples=25, deadline=None)
+def test_join_aggregate_equivalence(filter_text, groups):
+    join = (
+        '(join inner ((carrier_id id)) (select '
+        + filter_text
+        + ' (scan "Extract.flights")) (scan "Extract.carriers"))'
+    )
+    q = f"(aggregate (name) ((n (count)) (s (sum delay))) {join})"
+    optimized = ENGINE.query(q)
+    naive = ENGINE.query_naive(q)
+    assert optimized.approx_equals(naive, ordered=False, rel=1e-7, abs_tol=1e-7)
+
+
+@given(_FILTERS)
+@settings(max_examples=20, deadline=None)
+def test_distinct_equivalence(filter_text):
+    q = f'(distinct (carrier_id market_id) (select {filter_text} (scan "Extract.flights")))'
+    assert ENGINE.query(q).equals_unordered(ENGINE.query_naive(q))
+
+
+@pytest.mark.parametrize("dop", [1, 2, 3, 8])
+def test_all_dops_agree(dop):
+    from repro.tde.optimizer.parallel import PlannerOptions
+
+    q = '(aggregate (date_) ((n (count)) (s (sum delay))) (scan "Extract.flights"))'
+    reference = ENGINE.query_naive(q)
+    opts = PlannerOptions(max_dop=dop, min_work_per_fraction=100.0)
+    out = ENGINE.query(q, options=opts)
+    assert out.approx_equals(reference, ordered=False, rel=1e-7, abs_tol=1e-7)

@@ -1,0 +1,136 @@
+"""TQL parser/printer/binder tests."""
+
+import pytest
+
+from repro.datatypes import LogicalType as L
+from repro.errors import BindError, TqlParseError
+from repro.tde.tql import Aggregate, Join, Select, TableScan, TopN, bind, parse_tql, to_tql
+from repro.tde.tql.binder import DictCatalog
+
+CATALOG = DictCatalog(
+    {
+        "Extract.flights": {
+            "carrier_id": L.INT,
+            "delay": L.FLOAT,
+            "cancelled": L.BOOL,
+            "date_": L.DATE,
+        },
+        "Extract.carriers": {"id": L.INT, "name": L.STR},
+    }
+)
+
+
+class TestParse:
+    def test_scan(self):
+        plan = parse_tql('(scan "Extract.flights")')
+        assert isinstance(plan, TableScan)
+        assert plan.table == "Extract.flights"
+
+    def test_nested(self):
+        plan = parse_tql(
+            '(topn 5 ((d desc)) (aggregate (carrier_id) ((d (avg delay)))'
+            ' (select (not cancelled) (scan "Extract.flights"))))'
+        )
+        assert isinstance(plan, TopN)
+        assert isinstance(plan.child, Aggregate)
+        assert isinstance(plan.child.child, Select)
+
+    def test_join_kinds(self):
+        plan = parse_tql(
+            '(join left ((carrier_id id)) (scan "Extract.flights") (scan "Extract.carriers"))'
+        )
+        assert isinstance(plan, Join)
+        assert plan.kind == "left"
+        with pytest.raises(TqlParseError):
+            parse_tql('(join outer ((a b)) (scan "x") (scan "y"))')
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(scan)",
+            "(select (scan \"t\"))",
+            "(project (a) (scan \"t\"))",
+            "(aggregate (g) (scan \"t\"))",
+            "(order ((a sideways)) (scan \"t\"))",
+            "(topn x ((a asc)) (scan \"t\"))",
+            "(limit -1)",
+            "(frobnicate)",
+            '(scan "a") (scan "b")',
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(TqlParseError):
+            parse_tql(bad)
+
+
+class TestRoundTrip:
+    CASES = [
+        '(scan "Extract.flights")',
+        '(select (> delay 15) (scan "Extract.flights"))',
+        '(project ((x (+ delay 1)) (y carrier_id)) (scan "Extract.flights"))',
+        '(join inner ((carrier_id id)) (scan "Extract.flights") (scan "Extract.carriers"))',
+        '(aggregate (carrier_id) ((n (count)) (s (sum delay))) (scan "Extract.flights"))',
+        '(order ((delay desc) (carrier_id asc)) (scan "Extract.flights"))',
+        '(topn 3 ((delay desc)) (scan "Extract.flights"))',
+        '(limit 10 (scan "Extract.flights"))',
+        '(distinct (carrier_id) (scan "Extract.flights"))',
+        '(aggregate () ((n (count))) (scan "Extract.flights"))',
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_roundtrip(self, text):
+        plan = parse_tql(text)
+        assert to_tql(plan) == text
+        assert parse_tql(to_tql(plan)) == plan
+
+
+class TestBind:
+    def test_join_schema_drops_right_keys(self):
+        plan = parse_tql(
+            '(join inner ((carrier_id id)) (scan "Extract.flights") (scan "Extract.carriers"))'
+        )
+        schema = bind(plan, CATALOG)
+        assert "id" not in schema
+        assert schema["name"] is L.STR
+        assert schema["carrier_id"] is L.INT
+
+    def test_aggregate_schema(self):
+        plan = parse_tql(
+            '(aggregate (carrier_id) ((n (count)) (a (avg delay))) (scan "Extract.flights"))'
+        )
+        assert bind(plan, CATALOG) == {"carrier_id": L.INT, "n": L.INT, "a": L.FLOAT}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            '(scan "Extract.nope")',
+            '(select (+ delay 1) (scan "Extract.flights"))',  # non-BOOL predicate
+            '(select (> nope 1) (scan "Extract.flights"))',
+            '(project ((x delay) (x delay)) (scan "Extract.flights"))',
+            '(join inner ((delay name)) (scan "Extract.flights") (scan "Extract.carriers"))',
+            '(join inner () (scan "Extract.flights") (scan "Extract.carriers"))',
+            '(aggregate (nope) ((n (count))) (scan "Extract.flights"))',
+            '(aggregate (carrier_id) ((s (sum name)))'
+            ' (join inner ((carrier_id id)) (scan "Extract.flights") (scan "Extract.carriers")))',
+            '(order ((nope asc)) (scan "Extract.flights"))',
+            '(topn 3 () (scan "Extract.flights"))',
+            '(distinct () (scan "Extract.flights"))',
+        ],
+    )
+    def test_bind_errors(self, bad):
+        with pytest.raises(BindError):
+            bind(parse_tql(bad), CATALOG)
+
+    def test_join_collision(self):
+        catalog = DictCatalog({"t1": {"k": L.INT, "v": L.INT}, "t2": {"k2": L.INT, "v": L.INT}})
+        plan = parse_tql('(join inner ((k k2)) (scan "t1") (scan "t2"))')
+        with pytest.raises(BindError):
+            bind(plan, catalog)
+
+    def test_streaming_classification(self):
+        assert parse_tql('(scan "t")').is_streaming()
+        assert parse_tql('(select true (scan "t"))').is_streaming()
+        assert parse_tql('(limit 1 (scan "t"))').is_streaming()
+        assert not parse_tql('(order ((a asc)) (scan "t"))').is_streaming()
+        assert not parse_tql('(aggregate (a) () (scan "t"))').is_streaming()

@@ -1,0 +1,160 @@
+"""Unit and property tests for the storage encodings (paper 4.1.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.tde.storage.vectors import (
+    DeltaVector,
+    PlainVector,
+    RleVector,
+    encode_best,
+)
+
+
+class TestPlainVector:
+    def test_roundtrip(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        vec = PlainVector(arr)
+        assert len(vec) == 3
+        assert vec.materialize() is arr
+        assert list(vec.slice(1, 3)) == [2, 3]
+        assert list(vec.take(np.array([2, 0]))) == [3, 1]
+
+    def test_nbytes_objects(self):
+        arr = np.array(["ab", "cdef"], dtype=object)
+        assert PlainVector(arr).nbytes == 6 + 16
+
+
+class TestRleVector:
+    def test_from_plain_basic(self):
+        vec = RleVector.from_plain(np.array([5, 5, 5, 1, 1, 9]))
+        assert vec.n_runs == 3
+        assert list(vec.values) == [5, 1, 9]
+        assert list(vec.counts) == [3, 2, 1]
+        assert list(vec.starts) == [0, 3, 5]
+        assert list(vec.materialize()) == [5, 5, 5, 1, 1, 9]
+
+    def test_empty(self):
+        vec = RleVector.from_plain(np.zeros(0, dtype=np.int64))
+        assert len(vec) == 0
+        assert vec.n_runs == 0
+        assert list(vec.materialize()) == []
+
+    def test_take_positions(self):
+        vec = RleVector.from_plain(np.array([7, 7, 8, 8, 8, 9]))
+        assert list(vec.take(np.array([0, 1, 2, 4, 5]))) == [7, 7, 8, 8, 9]
+
+    def test_slice_within_single_run(self):
+        vec = RleVector.from_plain(np.array([4, 4, 4, 4]))
+        assert list(vec.slice(1, 3)) == [4, 4]
+
+    def test_slice_across_runs(self):
+        vec = RleVector.from_plain(np.array([1, 1, 2, 2, 3, 3]))
+        assert list(vec.slice(1, 5)) == [1, 2, 2, 3]
+
+    def test_slice_empty(self):
+        vec = RleVector.from_plain(np.array([1, 2]))
+        assert len(vec.slice(1, 1)) == 0
+
+    def test_index_table_matches_runs(self):
+        vec = RleVector.from_plain(np.array([3, 3, 1, 9, 9, 9]))
+        values, counts, starts = vec.index_table()
+        triples = list(zip(starts, counts, values))
+        assert triples == list(vec.runs())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(StorageError):
+            RleVector(np.array([1]), np.array([1, 2]))
+
+    @given(
+        st.lists(st.integers(min_value=-5, max_value=5), min_size=0, max_size=200)
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        vec = RleVector.from_plain(arr)
+        assert list(vec.materialize()) == values
+        if values:
+            idx = np.arange(0, len(values), 2)
+            assert list(vec.take(idx)) == [values[i] for i in idx]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_slice_property(self, values, data):
+        arr = np.asarray(values, dtype=np.int64)
+        vec = RleVector.from_plain(arr)
+        start = data.draw(st.integers(min_value=0, max_value=len(values)))
+        stop = data.draw(st.integers(min_value=start, max_value=len(values)))
+        assert list(vec.slice(start, stop)) == values[start:stop]
+
+
+class TestDeltaVector:
+    def test_roundtrip(self):
+        arr = np.array([100, 101, 103, 103, 110], dtype=np.int64)
+        vec = DeltaVector.from_plain(arr)
+        assert list(vec.materialize()) == list(arr)
+        assert len(vec) == 5
+
+    def test_narrow_dtype_chosen(self):
+        arr = np.arange(1000, dtype=np.int64)
+        vec = DeltaVector.from_plain(arr)
+        assert vec.deltas.dtype == np.int8
+        assert vec.nbytes < arr.nbytes / 4
+
+    def test_wide_deltas(self):
+        arr = np.array([0, 10**12], dtype=np.int64)
+        vec = DeltaVector.from_plain(arr)
+        assert list(vec.materialize()) == [0, 10**12]
+
+    def test_empty_rejected(self):
+        with pytest.raises(StorageError):
+            DeltaVector.from_plain(np.zeros(0, dtype=np.int64))
+
+    @given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), min_size=1, max_size=100))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        vec = DeltaVector.from_plain(arr)
+        assert list(vec.materialize()) == values
+
+
+class TestEncodeBest:
+    def test_prefers_rle_for_runs(self):
+        arr = np.repeat(np.arange(10), 50)
+        assert encode_best(arr).encoding == "rle"
+
+    def test_prefers_delta_for_monotone(self):
+        arr = np.arange(0, 1000, 3, dtype=np.int64)
+        assert encode_best(arr).encoding == "delta"
+
+    def test_plain_for_random(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(-(2**40), 2**40, size=500)
+        assert encode_best(arr).encoding == "plain"
+
+    def test_respects_preference(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        assert encode_best(arr, prefer="rle").encoding == "rle"
+        assert encode_best(arr, prefer="plain").encoding == "plain"
+        assert encode_best(arr, prefer="delta").encoding == "delta"
+
+    def test_unknown_preference(self):
+        with pytest.raises(StorageError):
+            encode_best(np.array([1]), prefer="zstd")
+
+    def test_object_arrays_stay_plain(self):
+        arr = np.array(["a", "a", "a", "b"], dtype=object)
+        assert encode_best(arr).encoding == "plain"
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=0, max_size=300))
+    @settings(max_examples=60)
+    def test_any_choice_roundtrips(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        vec = encode_best(arr)
+        assert list(vec.materialize()) == values

@@ -1,0 +1,140 @@
+"""Window / table calculation tests (paper §1's window functions)."""
+
+import pytest
+
+from repro.errors import BindError, TqlParseError
+from repro.tde import DataEngine
+from repro.tde.tql import parse_tql, to_tql
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = DataEngine("win")
+    eng.load_pydict(
+        "Extract.sales",
+        {
+            "region": ["e", "e", "e", "w", "w", "w"],
+            "month": [1, 2, 3, 1, 2, 3],
+            "amount": [10.0, 30.0, 20.0, 5.0, None, 15.0],
+        },
+    )
+    return eng
+
+
+def _query(engine, items):
+    return engine.query(f'(window ({items}) (scan "Extract.sales"))')
+
+
+class TestWindowFunctions:
+    def test_row_number(self, engine):
+        out = _query(engine, "(rn row_number (partition region) (order (month asc)))")
+        rows = {(r, m): n for r, m, _a, n in out.to_rows()}
+        assert rows[("e", 1)] == 1 and rows[("e", 3)] == 3
+        assert rows[("w", 1)] == 1
+
+    def test_rank_with_ties(self, engine):
+        eng = DataEngine("ties")
+        eng.load_pydict("Extract.t", {"v": [10, 10, 5, 1]})
+        out = eng.query('(window ((r rank (order (v desc)))) (scan "Extract.t"))')
+        assert dict(zip(out.to_pydict()["v"], out.to_pydict()["r"])) == {10: 1, 5: 3, 1: 4}
+
+    def test_running_sum_skips_nulls(self, engine):
+        out = _query(engine, "(rs running_sum amount (partition region) (order (month asc)))")
+        west = [(m, rs) for r, m, _a, rs in out.to_rows() if r == "w"]
+        assert dict(west) == {1: 5.0, 2: 5.0, 3: 20.0}
+
+    def test_running_avg(self, engine):
+        out = _query(engine, "(ra running_avg amount (partition region) (order (month asc)))")
+        east = {m: ra for r, m, _a, ra in out.to_rows() if r == "e"}
+        assert east[1] == 10.0
+        assert east[2] == 20.0
+        assert east[3] == pytest.approx(20.0)
+
+    def test_window_sum_broadcasts(self, engine):
+        out = _query(engine, "(total window_sum amount (partition region))")
+        totals = {r: t for r, _m, _a, t in out.to_rows()}
+        assert totals == {"e": 60.0, "w": 20.0}
+
+    def test_window_min_max(self, engine):
+        out = _query(
+            engine,
+            "(hi window_max amount (partition region)) (lo window_min amount (partition region))",
+        )
+        east = [(a, hi, lo) for r, _m, a, hi, lo in out.to_rows() if r == "e"]
+        assert all(hi == 30.0 and lo == 10.0 for _a, hi, lo in east)
+
+    def test_share(self, engine):
+        out = _query(engine, "(pct share amount (partition region))")
+        east = {m: p for r, m, _a, p in out.to_rows() if r == "e"}
+        assert east[1] == pytest.approx(10 / 60)
+        assert sum(east.values()) == pytest.approx(1.0)
+
+    def test_global_partition(self, engine):
+        out = _query(engine, "(pct share amount)")
+        values = [p for *_rest, p in out.to_rows() if p is not None]
+        assert sum(values) == pytest.approx(1.0)
+
+    def test_null_arg_rows_get_null(self, engine):
+        out = _query(engine, "(pct share amount (partition region))")
+        west_null = [p for r, m, a, p in out.to_rows() if a is None]
+        assert west_null == [None]
+
+    def test_over_aggregate(self, engine):
+        """Window over an aggregate: share of each region's total."""
+        out = engine.query(
+            '(window ((pct share total)) (aggregate (region)'
+            ' ((total (sum amount))) (scan "Extract.sales")))'
+        )
+        shares = dict((r, p) for r, _t, p in out.to_rows())
+        assert shares["e"] == pytest.approx(60 / 80)
+
+    def test_output_ordered_by_first_item_addressing(self, engine):
+        out = _query(engine, "(rn row_number (partition region) (order (amount desc)))")
+        regions = out.to_pydict()["region"]
+        assert regions == sorted(regions)  # partition-major output order
+
+
+class TestWindowValidation:
+    def test_roundtrip(self, engine):
+        text = (
+            '(window ((rn row_number (partition region) (order (month asc)))'
+            ' (pct share amount (partition region))) (scan "Extract.sales"))'
+        )
+        plan = parse_tql(text)
+        assert parse_tql(to_tql(plan)) == plan
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            '(window ((x bogus_fn (order (v asc)))) (scan "t"))',
+            '(window ((x row_number)) (scan "t"))',  # needs order
+            '(window ((x running_sum (order (v asc)))) (scan "t"))',  # needs arg
+            '(window ((x row_number v (order (v asc)))) (scan "t"))',  # no arg allowed
+            '(window ((x rank v v (order (v asc)))) (scan "t"))',
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(TqlParseError):
+            parse_tql(bad)
+
+    def test_bind_errors(self, engine):
+        with pytest.raises(BindError):
+            engine.query('(window ((region share amount)) (scan "Extract.sales"))')
+        with pytest.raises(BindError):
+            engine.query(
+                '(window ((x share amount (partition ghost))) (scan "Extract.sales"))'
+            )
+        with pytest.raises(BindError):
+            engine.query('(window ((x share region)) (scan "Extract.sales"))')
+
+    def test_parallel_input_closed_before_window(self):
+        from tests.conftest import build_flights_engine
+
+        eng = build_flights_engine(n=4000, max_dop=4, min_work_per_fraction=200)
+        q = (
+            '(window ((pct share delay (partition carrier_id)))'
+            ' (select (> delay 60) (scan "Extract.flights")))'
+        )
+        serial = eng.query_naive(q)
+        parallel = eng.query(q)
+        assert parallel.approx_equals(serial, ordered=False, rel=1e-7, abs_tol=1e-9)

@@ -1,0 +1,160 @@
+"""Foundations: logical types, storage conversion, collations, errors."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import collation as coll
+from repro.datatypes import (
+    LogicalType,
+    can_cast,
+    from_storage,
+    infer_type,
+    promote,
+    storage_array,
+    to_storage,
+)
+from repro.errors import ReproError, TypeMismatchError
+
+
+class TestPromotion:
+    def test_identity(self):
+        for t in LogicalType:
+            assert promote(t, t) is t
+
+    def test_numeric(self):
+        assert promote(LogicalType.INT, LogicalType.FLOAT) is LogicalType.FLOAT
+
+    def test_temporal(self):
+        assert promote(LogicalType.DATE, LogicalType.DATETIME) is LogicalType.DATETIME
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (LogicalType.INT, LogicalType.STR),
+            (LogicalType.BOOL, LogicalType.FLOAT),
+            (LogicalType.DATE, LogicalType.INT),
+        ],
+    )
+    def test_incompatible(self, a, b):
+        with pytest.raises(TypeMismatchError):
+            promote(a, b)
+
+
+class TestCasts:
+    def test_can_cast_matrix_reflexive(self):
+        for t in LogicalType:
+            assert can_cast(t, t)
+
+    def test_str_conversions(self):
+        assert can_cast(LogicalType.STR, LogicalType.INT)
+        assert not can_cast(LogicalType.STR, LogicalType.DATE)
+
+
+class TestStorageRoundTrip:
+    CASES = [
+        (True, LogicalType.BOOL),
+        (42, LogicalType.INT),
+        (-1.5, LogicalType.FLOAT),
+        ("héllo", LogicalType.STR),
+        (dt.date(1999, 12, 31), LogicalType.DATE),
+        (dt.datetime(2014, 6, 1, 23, 59, 59, 123456), LogicalType.DATETIME),
+    ]
+
+    @pytest.mark.parametrize("value,ltype", CASES)
+    def test_roundtrip(self, value, ltype):
+        assert from_storage(to_storage(value, ltype), ltype) == value
+
+    def test_none_maps_to_fill(self):
+        assert to_storage(None, LogicalType.INT) == 0
+        assert to_storage(None, LogicalType.STR) == ""
+
+    def test_datetime_truncated_to_date(self):
+        stamp = dt.datetime(2014, 3, 4, 15, 30)
+        assert from_storage(to_storage(stamp, LogicalType.DATE), LogicalType.DATE) == dt.date(
+            2014, 3, 4
+        )
+
+    def test_infer_type(self):
+        assert infer_type(True) is LogicalType.BOOL  # before int!
+        assert infer_type(1) is LogicalType.INT
+        assert infer_type(dt.datetime.now()) is LogicalType.DATETIME
+        with pytest.raises(TypeMismatchError):
+            infer_type(object())
+
+    def test_storage_array_masks(self):
+        arr, mask = storage_array([1, None, 3], LogicalType.INT)
+        assert list(arr) == [1, 0, 3]
+        assert list(mask) == [False, True, False]
+        arr, mask = storage_array([1, 2], LogicalType.INT)
+        assert mask is None
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.dates(dt.date(1900, 1, 1), dt.date(2100, 1, 1))),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_date_array_roundtrip_property(self, values):
+        arr, mask = storage_array(values, LogicalType.DATE)
+        out = [
+            None if (mask is not None and mask[i]) else from_storage(arr[i], LogicalType.DATE)
+            for i in range(len(values))
+        ]
+        assert out == values
+
+
+class TestCollation:
+    def test_registry(self):
+        assert coll.get_collation("binary") is coll.BINARY
+        assert coll.get_collation("ci") is coll.CASE_INSENSITIVE
+        with pytest.raises(KeyError):
+            coll.get_collation("nope")
+
+    def test_equality_semantics(self):
+        assert coll.CASE_INSENSITIVE.eq("Foo", "fOO")
+        assert not coll.BINARY.eq("Foo", "foo")
+        assert coll.ACCENT_INSENSITIVE.eq("café", "CAFE")
+
+    def test_ordering(self):
+        assert coll.BINARY.lt("B", "a")  # code points: uppercase first
+        assert coll.CASE_INSENSITIVE.lt("a", "B")
+
+    def test_compatible(self):
+        assert coll.compatible(coll.BINARY, coll.BINARY)
+        assert not coll.compatible(coll.BINARY, coll.CASE_INSENSITIVE)
+
+    def test_sort_keys_vectorized(self):
+        import numpy as np
+
+        values = np.array(["B", "a"], dtype=object)
+        keys = coll.CASE_INSENSITIVE.sort_keys(values)
+        assert list(keys) == ["b", "a"]
+        assert coll.BINARY.sort_keys(values) is values
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        import inspect
+
+        from repro import errors
+
+        for _name, obj in inspect.getmembers(errors, inspect.isclass):
+            if obj.__module__ == "repro.errors":
+                assert issubclass(obj, ReproError)
+
+    def test_parse_error_position(self):
+        from repro.errors import TqlParseError
+
+        err = TqlParseError("bad token", position=17)
+        assert "17" in str(err)
+        assert err.position == 17
+
+    def test_capability_error_carries_capability(self):
+        from repro.errors import CapabilityError
+
+        assert CapabilityError("no limit", "limit").capability == "limit"

@@ -1,0 +1,115 @@
+"""Workload generator tests: determinism, skew, schema, traffic."""
+
+import datetime as dt
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    CARRIERS,
+    MARKETS,
+    TrafficGenerator,
+    fig1_dashboard,
+    fig2_dashboard,
+    flights_model,
+    generate_flights,
+)
+
+
+class TestFlightsGenerator:
+    def test_deterministic(self):
+        a = generate_flights(500, seed=5)
+        b = generate_flights(500, seed=5)
+        assert a.flights == b.flights
+
+    def test_seed_changes_data(self):
+        a = generate_flights(500, seed=5)
+        b = generate_flights(500, seed=6)
+        assert a.flights != b.flights
+
+    def test_row_count_and_date_order(self):
+        ds = generate_flights(1234, seed=1, days=90)
+        assert ds.n_rows == 1234
+        dates = ds.flights["date_"]
+        assert len(dates) == 1234
+        assert dates == sorted(dates)
+        assert dates[0] == dt.date(2014, 1, 1)
+        assert dates[-1] < dt.date(2014, 4, 2)
+
+    def test_carrier_skew(self):
+        ds = generate_flights(6000, seed=2)
+        counts = Counter(ds.flights["carrier_id"])
+        assert counts[0] > counts[len(CARRIERS) - 1] * 2  # Zipf-ish head
+
+    def test_cancelled_flights_have_null_delays(self):
+        ds = generate_flights(3000, seed=3)
+        for cancelled, delay in zip(ds.flights["cancelled"], ds.flights["dep_delay"]):
+            assert (delay is None) == cancelled
+
+    def test_hnl_ogg_restricted_to_alaska(self):
+        ds = generate_flights(6000, seed=4)
+        hnl = [m[0] for m in MARKETS].index("HNL-OGG")
+        carriers = {
+            c
+            for c, m in zip(ds.flights["carrier_id"], ds.flights["market_id"])
+            if m == hnl
+        }
+        assert carriers == {5}
+
+    def test_load_into_engine(self):
+        engine = generate_flights(800, seed=7).load_into_engine()
+        assert engine.table("Extract.flights").n_rows == 800
+        assert engine.table("Extract.flights").sort_keys == ("date_",)
+        assert engine.table("Extract.flights").column("date_").encoding == "rle"
+        out = engine.query(
+            '(distinct (carrier_name) (join inner ((carrier_id id))'
+            ' (scan "Extract.flights") (scan "Extract.carriers")))'
+        )
+        assert out.n_rows == len(CARRIERS)
+
+    def test_model_schema(self):
+        engine = generate_flights(200, seed=8).load_into_engine()
+        from repro.connectors import TdeDataSource
+
+        schema = flights_model().schema(TdeDataSource(engine))
+        for field in ("carrier_name", "market", "weekday", "delayed", "dep_delay_hours"):
+            assert field in schema
+
+
+class TestTraffic:
+    def _gen(self, **kwargs):
+        return TrafficGenerator(
+            [fig1_dashboard(), fig2_dashboard()],
+            selection_domains={
+                "market-carrier-airline": {"market": [m[0] for m in MARKETS]},
+            },
+            **kwargs,
+        )
+
+    def test_deterministic(self):
+        a = list(self._gen(seed=9).events(50))
+        b = list(self._gen(seed=9).events(50))
+        assert a == b
+
+    def test_popularity_skew(self):
+        events = [e for e in self._gen(seed=10).events(300) if e.kind == "load"]
+        counts = Counter(e.dashboard for e in events)
+        assert counts["flights-on-time"] > counts["market-carrier-airline"]
+
+    def test_mostly_initial_loads(self):
+        """Tableau-Public-like: loads dominate interactions (paper 3.2)."""
+        events = list(self._gen(seed=11, interaction_rate=0.15).events(300))
+        kinds = Counter(e.kind for e in events)
+        assert kinds["load"] > kinds.get("select", 0) * 3
+
+    def test_selects_reference_valid_zones(self):
+        for event in self._gen(seed=12, interaction_rate=0.5).events(200):
+            if event.kind == "select":
+                assert event.dashboard == "market-carrier-airline"
+                assert event.zone == "market"
+                assert event.values
+
+    def test_requires_dashboards(self):
+        with pytest.raises(WorkloadError):
+            TrafficGenerator([])
