@@ -10,6 +10,7 @@ produces.
 
 import pytest
 
+from repro import obs
 from repro.core.pipeline import PipelineOptions, QueryPipeline
 from repro.queries import CategoricalFilter
 from repro.sim.metrics import Recorder, time_call
@@ -54,7 +55,13 @@ def test_e6_query_caching(benchmark, dataset, model):
     recorder.add("literal hit", 0, literal_s * 1000)
     recorder.add("intelligent exact hit", 0, exact_s * 1000)
     recorder.add("intelligent subsumption hit", 0, subsume_s * 1000)
-    record("e6_query_caching", recorder)
+    # Traced cold + subsumption-hit pair for the per-phase JSON summary.
+    _db2, source2 = make_backend(dataset, name="warehouse-traced")
+    with obs.recording() as rec:
+        traced = QueryPipeline(source2, model)
+        traced.run_batch([_base_spec()])
+        traced.run_batch([_base_spec(markets=(0, 2, 5))])
+    record("e6_query_caching", recorder, trace=rec)
 
     assert exact.remote_queries == 0
     assert subsumed.remote_queries == 0

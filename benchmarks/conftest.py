@@ -4,17 +4,26 @@ Every experiment writes the series it measured (the paper-shaped rows)
 to ``benchmarks/_results/<experiment>.txt`` in addition to printing, so
 the numbers survive pytest's output capture; EXPERIMENTS.md points at
 these files.
+
+Since PR 1 each ``record()`` call also writes a machine-readable
+``benchmarks/_results/BENCH_<experiment>.json`` — the measured series
+plus (when the experiment captured one) a per-phase trace summary from
+:mod:`repro.obs` — so the perf trajectory across PRs can be diffed by
+tooling instead of by eyeballing text tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any
 
 import pytest
 
 from repro.connectors import SimDbDataSource
 from repro.connectors.simdb import ServerProfile, SimulatedDatabase
 from repro.expr.ast import AggExpr, ColumnRef
+from repro.obs import SCHEMA_VERSION, PerformanceRecording
 from repro.queries import QuerySpec
 from repro.sim.metrics import Recorder
 from repro.workloads import flights_model, generate_flights
@@ -37,11 +46,32 @@ AVG_DELAY = AggExpr("avg", ColumnRef("dep_delay"))
 AVG_ARR_DELAY = AggExpr("avg", ColumnRef("arr_delay"))
 
 
-def record(name: str, recorder: Recorder) -> None:
-    """Print the series and persist it under benchmarks/_results/."""
+def record(
+    name: str,
+    recorder: Recorder,
+    *,
+    trace: PerformanceRecording | dict[str, Any] | None = None,
+) -> None:
+    """Print the series; persist text + BENCH_<name>.json artifacts.
+
+    ``trace`` (a :class:`PerformanceRecording` captured around one
+    representative run, or an equivalent dict) attaches the per-phase
+    latency attribution to the JSON so regressions can be localized.
+    """
     recorder.emit()
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(recorder.render() + "\n")
+    if isinstance(trace, PerformanceRecording):
+        trace = {"phases": trace.phase_summary(), "metrics": trace.metrics.snapshot()}
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": name,
+        "series": recorder.to_dict(),
+        "trace": trace,
+    }
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

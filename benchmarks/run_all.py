@@ -1,0 +1,50 @@
+"""Run every experiment and write the benchmarks/_results/ artifacts.
+
+Usage (from the repository root)::
+
+    python benchmarks/run_all.py             # all experiments
+    python benchmarks/run_all.py e1 e6       # a subset, by id
+
+Each experiment prints its paper-shaped series, writes the aligned-text
+table to ``benchmarks/_results/<exp>.txt`` and the machine-readable
+``benchmarks/_results/BENCH_<exp>.json`` (series + per-phase trace
+summary where the experiment captures one). Exit status is pytest's.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    import pytest
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    selectors = [a for a in argv if not a.startswith("-")]
+    extra = [a for a in argv if a.startswith("-")]
+    if selectors:
+        targets = []
+        for sel in selectors:
+            matches = sorted(BENCH_DIR.glob(f"bench_{sel}_*.py")) or sorted(
+                BENCH_DIR.glob(f"*{sel}*.py")
+            )
+            if not matches:
+                print(f"no benchmark matches {sel!r}", file=sys.stderr)
+                return 2
+            targets.extend(str(m) for m in matches)
+    else:
+        targets = [str(BENCH_DIR)]
+    # Ensure `import benchmarks.conftest` and `import repro` resolve when
+    # invoked as a plain script (pytest runs in-process, so this suffices
+    # even without PYTHONPATH=src).
+    for path in (str(BENCH_DIR.parent), str(BENCH_DIR.parent / "src")):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    return pytest.main(["-q", "--no-header", *extra, *targets])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,9 @@ The package implements the paper's data-processing stack from scratch:
   intra-query parallelism on hosts without many cores.
 * ``repro.workloads`` — deterministic synthetic workloads (FAA flights,
   dashboards, multi-user traffic).
+* ``repro.obs`` — the Performance Recorder analogue: span tracing,
+  metrics (counters/gauges/latency histograms) and recording export,
+  off by default and allocation-free when off.
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-claim vs. measured record.

@@ -16,9 +16,11 @@ opening a new one up to the pool's limit.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
 
+from .. import obs
 from ..errors import SourceError
 from .connection import Connection, DataSource
 
@@ -60,6 +62,7 @@ class ConnectionPool:
         will be duplicated in several connections", so preference — not a
         guarantee — is the right contract).
         """
+        wait_started: float | None = None
         with self._lock:
             while True:
                 if self._closed:
@@ -68,16 +71,26 @@ class ConnectionPool:
                 if conn is not None:
                     self._busy.add(conn)
                     self.stats.reused += 1
+                    self._record_acquire("reused", wait_started)
                     return conn
                 if len(self._busy) + len(self._idle) < self.max_connections:
                     break
                 self.stats.wait_events += 1
+                if wait_started is None:
+                    wait_started = time.monotonic()
                 self._lock.wait()
-        conn = self.source.connect()
+        with obs.span("pool.connect", source=self.source.name):
+            conn = self.source.connect()
         with self._lock:
             self._busy.add(conn)
             self.stats.opened += 1
+            self._record_acquire("opened", wait_started)
         return conn
+
+    def _record_acquire(self, how: str, wait_started: float | None) -> None:
+        obs.counter(f"pool.{how}").inc()
+        if wait_started is not None:
+            obs.histogram("pool.wait_s").observe(time.monotonic() - wait_started)
 
     def _pick_idle(self, prefer_temp_table: str | None) -> Connection | None:
         if not self._idle:
@@ -118,6 +131,8 @@ class ConnectionPool:
                     keep.append(conn)
             self._idle = keep
             self.stats.evicted += evicted
+        if evicted:
+            obs.counter("pool.evicted").inc(evicted)
         return evicted
 
     def size(self) -> int:

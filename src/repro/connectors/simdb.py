@@ -27,6 +27,7 @@ import threading
 import time
 from dataclasses import dataclass, field, replace
 
+from .. import obs
 from ..datatypes import LogicalType
 from ..errors import ConnectionLimitError, SourceError, SqlError
 from ..expr.ast import Literal
@@ -177,11 +178,13 @@ class SimulatedDatabase:
         CPUs when they exist but degrades under concurrency.
         """
         self.stats.enter()
+        queued = time.monotonic()
         try:
             if self._admission is not None:
                 self._admission.acquire()
             try:
                 self._worker_slots.acquire()
+                obs.histogram("simdb.queue_wait_s").observe(time.monotonic() - queued)
                 held = 1
                 while held < self.profile.per_query_parallelism and self._worker_slots.acquire(
                     blocking=False
@@ -199,6 +202,7 @@ class SimulatedDatabase:
         finally:
             self.stats.leave()
         self.stats.record(busy_seconds=cpu_seconds + overhead_s)
+        obs.histogram("simdb.service_s").observe(elapsed)
         return elapsed
 
 
@@ -248,14 +252,18 @@ class SimSession:
         return transform_up(plan, fn)
 
     def _select(self, plan: LogicalPlan) -> Table:
-        plan = self._resolve(plan)
-        estimate = estimate_plan(plan, self.db.engine.catalog)
-        cpu = estimate.cost * self.db.profile.work_unit_time_s
-        self.db.service(cpu, self.db.profile.query_overhead_s)
-        result = self.db.engine.query(plan)
-        transfer = result.n_rows * self.db.profile.transfer_row_time_s
-        self.db._sleep(transfer)
-        self.db.stats.record(queries=1, rows_transferred=result.n_rows)
+        with obs.span("simdb.select", server=self.db.name) as sp:
+            plan = self._resolve(plan)
+            estimate = estimate_plan(plan, self.db.engine.catalog)
+            cpu = estimate.cost * self.db.profile.work_unit_time_s
+            self.db.service(cpu, self.db.profile.query_overhead_s)
+            result = self.db.engine.query(plan)
+            transfer = result.n_rows * self.db.profile.transfer_row_time_s
+            self.db._sleep(transfer)
+            self.db.stats.record(queries=1, rows_transferred=result.n_rows)
+            obs.counter("simdb.queries").inc()
+            obs.counter("simdb.rows_transferred").inc(result.n_rows)
+            sp.set(rows=result.n_rows)
         return result
 
     def _create_temp(self, stmt: CreateTempTable) -> Table:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from ... import obs
 from ...errors import CacheError
 from ...expr.ast import AggExpr, Call, ColumnRef, Expr, Literal, conjoin
 from ...queries.postops import (
@@ -350,6 +351,7 @@ class IntelligentCache:
             if exact is not None:
                 exact.touch()
                 self.stats.exact_hits += 1
+                obs.counter("cache.intelligent.exact_hits").inc()
                 return exact.value
             best: tuple[MatchResult, CacheEntry] | None = None
             for entry_key in self._candidate_keys(spec):
@@ -366,10 +368,12 @@ class IntelligentCache:
                     best = (match, entry)
             if best is None:
                 self.stats.misses += 1
+                obs.counter("cache.intelligent.misses").inc()
                 return None
             match, entry = best
             entry.touch()
             self.stats.subsumption_hits += 1
+            obs.counter("cache.intelligent.subsumption_hits").inc()
             table = entry.value
         return apply_post_ops(table, match.post_ops)
 

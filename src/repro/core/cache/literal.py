@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import threading
 
+from ... import obs
 from ...tde.storage.table import Table
 from .eviction import CacheEntry, EvictionPolicy
 
@@ -41,9 +42,11 @@ class LiteralCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                obs.counter("cache.literal.misses").inc()
                 return None
             entry.touch()
             self.stats.hits += 1
+            obs.counter("cache.literal.hits").inc()
             return entry.value
 
     def put(self, key: str, datasource: str, result: Table, *, cost_s: float = 0.0) -> None:

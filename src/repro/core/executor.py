@@ -6,6 +6,14 @@ checks out a connection from the pool (preferring one that already holds
 its temporary structures), creates missing temp tables, runs the text,
 and applies its local post-ops. A serial mode exists for the experiments
 that compare the two strategies.
+
+Observability: each query runs under an ``executor.query`` span. Because
+``contextvars`` do not flow into pool workers by themselves, the batch
+entry point captures the submitting thread's current span and re-attaches
+it inside each worker, so executor spans nest under the pipeline's
+``remote_execution`` phase. An ``executor.inflight`` gauge (high-water =
+peak concurrency), an ``executor.queue_depth`` gauge and an
+``executor.query_s`` latency histogram feed the metrics registry.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from .. import obs
 from ..connectors.pool import ConnectionPool
 from ..queries.compile import CompiledQuery
 from ..queries.postops import apply_post_ops
@@ -47,6 +56,21 @@ class ConcurrentQueryExecutor:
     # ------------------------------------------------------------------ #
     def run_one(self, compiled: CompiledQuery) -> ExecutionOutcome:
         """Execute one compiled query (literal cache → pool → post-ops)."""
+        inflight = obs.gauge("executor.inflight")
+        inflight.inc()
+        try:
+            with obs.span("executor.query", datasource=compiled.datasource) as sp:
+                outcome = self._run_one(compiled)
+                sp.set(
+                    rows=outcome.table.n_rows,
+                    from_literal_cache=outcome.from_literal_cache,
+                )
+        finally:
+            inflight.dec()
+        obs.histogram("executor.query_s").observe(outcome.elapsed_s)
+        return outcome
+
+    def _run_one(self, compiled: CompiledQuery) -> ExecutionOutcome:
         started = time.monotonic()
         if self.literal_cache is not None:
             cached = self.literal_cache.get(compiled.literal_key)
@@ -58,7 +82,8 @@ class ConcurrentQueryExecutor:
             for name, table in compiled.temp_tables.items():
                 if not conn.has_temp_table(name):
                     conn.create_temp_table(name, table)
-            raw = conn.execute(compiled.text)
+            with obs.span("executor.remote_fetch"):
+                raw = conn.execute(compiled.text)
         self.remote_queries_sent += 1
         elapsed = time.monotonic() - started
         if self.literal_cache is not None:
@@ -77,5 +102,14 @@ class ConcurrentQueryExecutor:
         if not concurrent or len(compiled) == 1:
             return [self.run_one(c) for c in compiled]
         workers = min(self.max_workers, len(compiled))
+        obs.gauge("executor.queue_depth").set(len(compiled))
+        # Hand the submitting context's span to the workers so their
+        # spans join this trace instead of starting new roots.
+        parent = obs.current_span()
+
+        def traced(query: CompiledQuery) -> ExecutionOutcome:
+            with obs.attach(parent):
+                return self.run_one(query)
+
         with ThreadPoolExecutor(max_workers=workers) as tp:
-            return list(tp.map(self.run_one, compiled))
+            return list(tp.map(traced, compiled))

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..connectors.pool import ConnectionPool
 from ..queries.compile import compile_spec
 from ..queries.model import DataSourceModel
@@ -57,6 +58,11 @@ class BatchResult:
     tables: dict[str, Table]  # spec canonical -> result
     remote_queries: int = 0
     cache_hits: int = 0
+    #: Intelligent-cache answers during result distribution (phases 4–5):
+    #: a member or local node served by a cache *derivation* rather than
+    #: its own remote fetch. Kept separate from ``cache_hits`` (phase-0
+    #: probe hits) so hit-rate metrics stay truthful.
+    derived_hits: int = 0
     batch_local: int = 0
     fused_away: int = 0
     literal_hits: int = 0
@@ -105,25 +111,33 @@ class QueryPipeline:
     ) -> BatchResult:
         started = time.monotonic()
         result = BatchResult({})
-        ordered: list[QuerySpec] = []
-        seen: set[str] = set()
-        for spec in specs:
-            if spec.canonical() not in seen:
-                seen.add(spec.canonical())
-                ordered.append(spec)
-        # Phase 0: serve from the intelligent cache.
-        pending: list[QuerySpec] = []
-        for spec in ordered:
-            if self.options.enable_intelligent_cache:
-                cached = self.intelligent_cache.lookup(spec)
-                if cached is not None:
-                    result.tables[spec.canonical()] = cached
-                    result.cache_hits += 1
-                    continue
-            pending.append(spec)
-        if pending:
-            self._run_pending(pending, result, reuse_fields)
-        result.elapsed_s = time.monotonic() - started
+        with obs.span("pipeline.run_batch", specs=len(specs)) as batch_span:
+            ordered: list[QuerySpec] = []
+            seen: set[str] = set()
+            for spec in specs:
+                if spec.canonical() not in seen:
+                    seen.add(spec.canonical())
+                    ordered.append(spec)
+            # Phase 0: serve from the intelligent cache.
+            pending: list[QuerySpec] = []
+            with obs.span("pipeline.cache_probe", specs=len(ordered)):
+                for spec in ordered:
+                    if self.options.enable_intelligent_cache:
+                        cached = self.intelligent_cache.lookup(spec)
+                        if cached is not None:
+                            result.tables[spec.canonical()] = cached
+                            result.cache_hits += 1
+                            continue
+                    pending.append(spec)
+            if pending:
+                self._run_pending(pending, result, reuse_fields)
+            result.elapsed_s = time.monotonic() - started
+            batch_span.set(
+                remote_queries=result.remote_queries,
+                cache_hits=result.cache_hits,
+                derived_hits=result.derived_hits,
+                fused_away=result.fused_away,
+            )
         return result
 
     # ------------------------------------------------------------------ #
@@ -134,76 +148,91 @@ class QueryPipeline:
         reuse_fields: frozenset[str] = frozenset(),
     ) -> None:
         # Phase 1: batch analysis — partition into remote and local.
-        if self.options.enable_batch_graph and len(pending) > 1:
-            graph = build_batch_graph(pending)
-            remote_specs = [pending[i] for i in graph.remote]
-            local_nodes = [(j, graph.provider_of[j]) for j in graph.local]
-        else:
-            graph = None
-            remote_specs = list(pending)
-            local_nodes = []
+        with obs.span("pipeline.batch_graph", pending=len(pending)) as graph_span:
+            if self.options.enable_batch_graph and len(pending) > 1:
+                graph = build_batch_graph(pending)
+                remote_specs = [pending[i] for i in graph.remote]
+                local_nodes = [(j, graph.provider_of[j]) for j in graph.local]
+            else:
+                graph = None
+                remote_specs = list(pending)
+                local_nodes = []
+            graph_span.set(remote=len(remote_specs), local=len(local_nodes))
         # Phase 2: fuse the remote set.
-        fused = fuse_batch(remote_specs, enabled=self.options.enable_fusion)
-        result.fused_away += len(remote_specs) - len(fused)
+        with obs.span("pipeline.fusion", remote=len(remote_specs)) as fusion_span:
+            fused = fuse_batch(remote_specs, enabled=self.options.enable_fusion)
+            result.fused_away += len(remote_specs) - len(fused)
+            fusion_span.set(fused=len(fused))
         # Phase 3: compile and execute concurrently.
-        to_send = []
-        for fq in fused:
-            send_spec = (
-                enrich_spec(fq.spec, reuse_fields=reuse_fields)
-                if self.options.enrich_for_reuse
-                else fq.spec
-            )
-            compiled = compile_spec(
-                send_spec,
-                self.model,
-                self.source,
-                externalize_threshold=self.options.externalize_threshold,
-            )
-            to_send.append((fq, send_spec, compiled))
-        outcomes = self.executor.run_batch(
-            [c for _fq, _s, c in to_send], concurrent=self.options.concurrent
-        )
-        # Phase 4: populate caches and split fused results.
-        for (fq, send_spec, _compiled), outcome in zip(to_send, outcomes):
-            result.remote_queries += 0 if outcome.from_literal_cache else 1
-            result.literal_hits += 1 if outcome.from_literal_cache else 0
-            if self.options.enable_intelligent_cache:
-                self.intelligent_cache.put(
-                    send_spec, outcome.table, cost_s=outcome.elapsed_s
+        with obs.span("pipeline.compile", queries=len(fused)):
+            to_send = []
+            for fq in fused:
+                send_spec = (
+                    enrich_spec(fq.spec, reuse_fields=reuse_fields)
+                    if self.options.enrich_for_reuse
+                    else fq.spec
                 )
-            for member in fq.members:
-                key = member.canonical()
+                compiled = compile_spec(
+                    send_spec,
+                    self.model,
+                    self.source,
+                    externalize_threshold=self.options.externalize_threshold,
+                )
+                to_send.append((fq, send_spec, compiled))
+        with obs.span("pipeline.remote_execution", queries=len(to_send)):
+            outcomes = self.executor.run_batch(
+                [c for _fq, _s, c in to_send], concurrent=self.options.concurrent
+            )
+        # Phase 4: populate caches and split fused results.
+        with obs.span("pipeline.post_processing", queries=len(outcomes)):
+            for (fq, send_spec, _compiled), outcome in zip(to_send, outcomes):
+                result.remote_queries += 0 if outcome.from_literal_cache else 1
+                result.literal_hits += 1 if outcome.from_literal_cache else 0
+                if self.options.enable_intelligent_cache:
+                    self.intelligent_cache.put(
+                        send_spec, outcome.table, cost_s=outcome.elapsed_s
+                    )
+                sent_key = send_spec.canonical()
+                for member in fq.members:
+                    key = member.canonical()
+                    answer = None
+                    if self.options.enable_intelligent_cache:
+                        answer = self.intelligent_cache.lookup(member)
+                        if answer is not None and key != sent_key:
+                            # Derived from the cached (wider) result, not a
+                            # re-read of the member's own remote fetch.
+                            result.derived_hits += 1
+                    if answer is None:
+                        # Derive directly from the fetched (possibly enriched)
+                        # result: enrichment only widens, so a match must exist.
+                        match = match_specs(send_spec, member)
+                        if match is not None:
+                            answer = apply_post_ops(outcome.table, match.post_ops)
+                        else:
+                            answer = apply_post_ops(
+                                outcome.table, fq.extract_ops[key]
+                            )
+                    result.tables[key] = answer
+        # Phase 5: answer the local (derivable) nodes.
+        with obs.span("pipeline.local_answers", nodes=len(local_nodes)):
+            for j, provider_idx in local_nodes:
+                spec = pending[j]
+                key = spec.canonical()
+                if key in result.tables:
+                    continue
                 answer = None
                 if self.options.enable_intelligent_cache:
-                    answer = self.intelligent_cache.lookup(member)
+                    answer = self.intelligent_cache.lookup(spec)
+                    if answer is not None:
+                        result.derived_hits += 1
                 if answer is None:
-                    # Derive directly from the fetched (possibly enriched)
-                    # result: enrichment only widens, so a match must exist.
-                    match = match_specs(send_spec, member)
-                    if match is not None:
-                        answer = apply_post_ops(outcome.table, match.post_ops)
-                    else:
-                        answer = apply_post_ops(
-                            outcome.table, fq.extract_ops[key]
-                        )
+                    provider = pending[provider_idx]
+                    provider_table = result.tables[provider.canonical()]
+                    match = match_specs(provider, spec)
+                    assert match is not None  # the graph edge proved this
+                    answer = apply_post_ops(provider_table, match.post_ops)
                 result.tables[key] = answer
-        # Phase 5: answer the local (derivable) nodes.
-        for j, provider_idx in local_nodes:
-            spec = pending[j]
-            key = spec.canonical()
-            if key in result.tables:
-                continue
-            answer = None
-            if self.options.enable_intelligent_cache:
-                answer = self.intelligent_cache.lookup(spec)
-            if answer is None:
-                provider = pending[provider_idx]
-                provider_table = result.tables[provider.canonical()]
-                match = match_specs(provider, spec)
-                assert match is not None  # the graph edge proved this
-                answer = apply_post_ops(provider_table, match.post_ops)
-            result.tables[key] = answer
-            result.batch_local += 1
+                result.batch_local += 1
 
     # ------------------------------------------------------------------ #
     def invalidate(self) -> None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from .. import obs
 from ..core.pipeline import BatchResult, QueryPipeline
 from ..errors import WorkloadError
 from ..queries.spec import CategoricalFilter, Filter, QuerySpec
@@ -88,6 +89,16 @@ class DashboardSession:
         return zone.spec(self.dashboard.datasource, tuple(extra))
 
     def render(self) -> RenderResult:
+        with obs.span("dashboard.render", dashboard=self.dashboard.name) as render_span:
+            result = self._render()
+            render_span.set(
+                iterations=result.iterations,
+                remote_queries=result.remote_queries,
+                cache_hits=result.cache_hits,
+            )
+        return result
+
+    def _render(self) -> RenderResult:
         batches: list[BatchResult] = []
         dropped: list[tuple[str, Any]] = []
         for iteration in range(1, MAX_ITERATIONS + 1):
@@ -106,13 +117,24 @@ class DashboardSession:
                 for zone_name, _s in batch_specs
                 for action in self.dashboard.actions_onto(zone_name)
             )
-            result = self.pipeline.run_batch(
-                [s for _n, s in batch_specs], reuse_fields=reuse
-            )
-            batches.append(result)
-            for zone_name, spec in batch_specs:
-                self.zone_tables[zone_name] = result.table_for(spec)
-                self._rendered_specs[zone_name] = spec.canonical()
+            with obs.span(
+                "dashboard.iteration",
+                index=iteration,
+                zones=[n for n, _s in batch_specs],
+            ) as iter_span:
+                result = self.pipeline.run_batch(
+                    [s for _n, s in batch_specs], reuse_fields=reuse
+                )
+                batches.append(result)
+                zone_rows: dict[str, int] = {}
+                for zone_name, spec in batch_specs:
+                    table = result.table_for(spec)
+                    self.zone_tables[zone_name] = table
+                    self._rendered_specs[zone_name] = spec.canonical()
+                    zone_rows[zone_name] = table.n_rows
+                    obs.counter(f"dashboard.zone.{zone_name}.renders").inc()
+                iter_span.set(zone_rows=zone_rows)
+                obs.histogram("dashboard.iteration_s").observe(result.elapsed_s)
             dropped.extend(self._validate_selections())
         raise WorkloadError("dashboard did not stabilize (action cycle?)")
 

@@ -99,7 +99,13 @@ def _escape(s: str) -> str:
 
 
 def _unescape(s: str) -> str:
-    return s.encode().decode("unicode_escape") if "\\" in s else s
+    # Exact inverse of _escape: only backslash and quote are ever escaped.
+    # (A unicode_escape round trip would re-encode non-ASCII text through
+    # latin-1 and corrupt e.g. '\\\x80'.)
+    return _UNESCAPE_RE.sub(r"\1", s) if "\\" in s else s
+
+
+_UNESCAPE_RE = re.compile(r"\\(.)", re.DOTALL)
 
 
 # ---------------------------------------------------------------------- #

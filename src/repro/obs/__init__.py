@@ -1,0 +1,168 @@
+"""repro.obs — the Performance Recorder substrate (tracing + metrics).
+
+Tableau answers "why was this dashboard slow?" with its Performance
+Recorder: a timeline of compile / cache / query / render events. This
+package is our equivalent, shared by every layer of the stack:
+
+* :mod:`repro.obs.trace` — contextvar-propagated spans with a pluggable
+  (virtual-time capable) clock;
+* :mod:`repro.obs.metrics` — counters, gauges, latency histograms
+  (p50/p95/p99);
+* :mod:`repro.obs.recording` — the exporter: text timeline + JSON.
+
+Observability is **off by default** and free when off: the module-level
+:func:`span`, :func:`counter`, :func:`gauge` and :func:`histogram`
+helpers dispatch to shared null singletons until :func:`enable` (or the
+:func:`recording` context manager) installs live instances.
+
+Typical benchmark usage::
+
+    from repro import obs
+
+    with obs.recording() as rec:
+        pipeline.run_batch(specs)
+    print(rec.render())          # the timeline
+    rec.to_json()                # machine-readable, for BENCH_*.json
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .recording import SCHEMA_VERSION, PerformanceRecording
+from .trace import NULL_TRACER, NullTracer, Span, Tracer, VirtualClock
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "PerformanceRecording",
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "VirtualClock",
+    "attach",
+    "counter",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_metrics",
+    "get_tracer",
+    "histogram",
+    "recording",
+    "set_metrics",
+    "set_tracer",
+    "span",
+]
+
+_tracer: Tracer | NullTracer = NULL_TRACER
+_metrics: MetricsRegistry | NullMetricsRegistry = NULL_METRICS
+
+
+# ---------------------------------------------------------------------- #
+# Global state
+# ---------------------------------------------------------------------- #
+def get_tracer() -> Tracer | NullTracer:
+    return _tracer
+
+
+def get_metrics() -> MetricsRegistry | NullMetricsRegistry:
+    return _metrics
+
+
+def enabled() -> bool:
+    """True when a live tracer is installed."""
+    return _tracer.enabled
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` globally; returns the previous one."""
+    global _tracer
+    previous, _tracer = _tracer, tracer
+    return previous
+
+
+def set_metrics(
+    metrics: MetricsRegistry | NullMetricsRegistry,
+) -> MetricsRegistry | NullMetricsRegistry:
+    """Install ``metrics`` globally; returns the previous registry."""
+    global _metrics
+    previous, _metrics = _metrics, metrics
+    return previous
+
+
+def enable(clock: Callable[[], float] | None = None) -> PerformanceRecording:
+    """Turn observability on; returns the recording being captured."""
+    tracer = Tracer(clock=clock)
+    metrics = MetricsRegistry()
+    set_tracer(tracer)
+    set_metrics(metrics)
+    return PerformanceRecording(tracer, metrics)
+
+
+def disable() -> None:
+    """Restore the free no-op instrumentation."""
+    set_tracer(NULL_TRACER)
+    set_metrics(NULL_METRICS)
+
+
+@contextmanager
+def recording(
+    clock: Callable[[], float] | None = None,
+) -> Iterator[PerformanceRecording]:
+    """Enable observability for a block, restoring prior state after.
+
+    Yields the :class:`PerformanceRecording`, which stays readable after
+    the block exits (the tracer/registry it references are kept alive).
+    """
+    previous_tracer, previous_metrics = _tracer, _metrics
+    rec = enable(clock)
+    try:
+        yield rec
+    finally:
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)
+
+
+# ---------------------------------------------------------------------- #
+# Hot-path helpers (dispatch to the installed tracer/registry)
+# ---------------------------------------------------------------------- #
+def span(name: str, **attributes: Any):
+    """Open a span under the current one (no-op context when disabled)."""
+    return _tracer.span(name, **attributes)
+
+
+def current_span() -> Span | None:
+    """The innermost open span, for explicit cross-thread hand-off."""
+    return _tracer.current()
+
+
+def attach(parent: Span | None):
+    """Adopt ``parent`` as the current span inside a worker thread."""
+    return _tracer.attach(parent)
+
+
+def counter(name: str):
+    return _metrics.counter(name)
+
+
+def gauge(name: str):
+    return _metrics.gauge(name)
+
+
+def histogram(name: str):
+    return _metrics.histogram(name)

@@ -1,0 +1,267 @@
+"""Metrics registry: counters, gauges and latency histograms.
+
+Components on the hot path register cheap instruments here — cache
+hit/miss counters, pool wait-time histograms, executor concurrency
+gauges, per-operator row counters — and the benchmark harness snapshots
+the registry into ``BENCH_*.json`` so every optimization PR can prove
+its win from the same numbers.
+
+Like the tracer, the registry defaults to a null implementation whose
+instruments are shared singletons: disabled instrumentation performs no
+allocation, no dict lookup and no locking.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+
+class Counter:
+    """A monotonically increasing count (events, rows, hits...)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int | float = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (queue depth, in-flight queries...).
+
+    Tracks the current value and the high-water mark, which is what the
+    concurrency experiments report (peak in-flight queries).
+    """
+
+    __slots__ = ("name", "value", "high_water", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+            self.high_water = max(self.high_water, value)
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self.value += n
+            self.high_water = max(self.high_water, self.value)
+
+    def dec(self, n: float = 1) -> None:
+        with self._lock:
+            self.value -= n
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value, "high_water": self.high_water}
+
+
+class Histogram:
+    """A latency/size distribution with interpolated percentiles.
+
+    Keeps raw observations (benchmark runs are small — thousands of
+    samples, not millions); ``percentile`` uses linear interpolation
+    between closest ranks, matching numpy's default.
+    """
+
+    __slots__ = ("name", "values", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.values.append(value)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float | None:
+        """The p-th percentile (0..100), or None for an empty histogram."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            values = sorted(self.values)
+        if not values:
+            return None
+        rank = (p / 100.0) * (len(values) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return values[lo]
+        return values[lo] + (rank - lo) * (values[hi] - values[lo])
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            values = sorted(self.values)
+        if not values:
+            return {"type": "histogram", "count": 0}
+        n = len(values)
+
+        def pct(p: float) -> float:
+            rank = (p / 100.0) * (n - 1)
+            lo, hi = math.floor(rank), math.ceil(rank)
+            if lo == hi:
+                return values[lo]
+            return values[lo] + (rank - lo) * (values[hi] - values[lo])
+
+        return {
+            "type": "histogram",
+            "count": n,
+            "sum": sum(values),
+            "min": values[0],
+            "max": values[-1],
+            "mean": sum(values) / n,
+            "p50": pct(50),
+            "p95": pct(95),
+            "p99": pct(99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot on demand."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = cls(name)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All instruments as plain dicts, sorted by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: instruments[name].snapshot() for name in sorted(instruments)}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": 0}
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+    high_water = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def dec(self, n: float = 1) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": 0.0, "high_water": 0.0}
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    values: list[float] = []
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> None:
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "histogram", "count": 0}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """The default registry: instruments are shared inert singletons."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_METRICS = NullMetricsRegistry()

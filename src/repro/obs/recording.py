@@ -1,0 +1,138 @@
+"""PerformanceRecording: export a trace as a timeline and as JSON.
+
+The analogue of Tableau's Performance Recorder view: given a
+:class:`~repro.obs.trace.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry`, this renders the recorded
+span trees as an indented text timeline (offsets + durations + key
+attributes) and dumps the whole recording — spans, per-phase summaries,
+metric snapshots — as JSON for the benchmark harness's ``BENCH_*.json``
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .metrics import MetricsRegistry, NullMetricsRegistry
+from .trace import NullTracer, Span, Tracer
+
+#: Bump when the JSON layout changes; BENCH_*.json embeds it.
+SCHEMA_VERSION = 1
+
+
+class PerformanceRecording:
+    """A finished (or in-progress) recording over one tracer + registry."""
+
+    def __init__(
+        self,
+        tracer: Tracer | NullTracer,
+        metrics: MetricsRegistry | NullMetricsRegistry | None = None,
+    ):
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else NullMetricsRegistry()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def spans(self) -> list[Span]:
+        return list(self.tracer.roots)
+
+    def find(self, name: str) -> Span | None:
+        """First span with ``name`` across all recorded roots."""
+        for root in self.tracer.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_all(self, name: str) -> list[Span]:
+        return [s for root in self.tracer.roots for s in root.find_all(name)]
+
+    # ------------------------------------------------------------------ #
+    def phase_summary(self) -> dict[str, dict[str, float]]:
+        """Aggregate spans by name: count and total/mean/max duration.
+
+        This is the "where did the time go" table — the per-phase trace
+        summary embedded in ``BENCH_*.json``.
+        """
+        acc: dict[str, list[float]] = {}
+        for root in self.tracer.roots:
+            for span in root.walk():
+                acc.setdefault(span.name, []).append(span.duration_s)
+        return {
+            name: {
+                "count": len(durations),
+                "total_s": sum(durations),
+                "mean_s": sum(durations) / len(durations),
+                "max_s": max(durations),
+            }
+            for name, durations in sorted(acc.items())
+        }
+
+    # ------------------------------------------------------------------ #
+    def render(self, *, max_depth: int | None = None) -> str:
+        """The trace as an indented text timeline plus metric lines."""
+        lines = ["== Performance Recording =="]
+        roots = self.tracer.roots
+        if not roots:
+            lines.append("(no spans recorded)")
+        origin = min((r.start_s for r in roots), default=0.0)
+        for root in roots:
+            self._render_span(root, origin, 0, max_depth, lines)
+        metrics = self.metrics.snapshot()
+        if metrics:
+            lines.append("-- metrics --")
+            for name, snap in metrics.items():
+                lines.append(f"{name}: {_fmt_metric(snap)}")
+        return "\n".join(lines)
+
+    def _render_span(
+        self,
+        span: Span,
+        origin: float,
+        depth: int,
+        max_depth: int | None,
+        lines: list[str],
+    ) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        offset_ms = (span.start_s - origin) * 1000
+        attrs = " ".join(
+            f"{k}={v}" for k, v in span.attributes.items() if not isinstance(v, (dict, list))
+        )
+        lines.append(
+            "  " * depth
+            + f"[+{offset_ms:9.3f}ms] {span.name}  {span.duration_s * 1000:.3f}ms"
+            + (f"  {attrs}" if attrs else "")
+        )
+        for child in span.children:
+            self._render_span(child, origin, depth + 1, max_depth, lines)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "spans": [root.to_dict() for root in self.tracer.roots],
+            "phases": self.phase_summary(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def emit(self) -> None:  # pragma: no cover - console convenience
+        print("\n" + self.render())
+
+
+def _fmt_metric(snap: dict[str, Any]) -> str:
+    kind = snap.get("type")
+    if kind == "counter":
+        return str(snap["value"])
+    if kind == "gauge":
+        return f"{snap['value']} (high {snap['high_water']})"
+    if snap.get("count", 0) == 0:
+        return "0 samples"
+    return (
+        f"n={snap['count']} mean={snap['mean']:.6f} "
+        f"p50={snap['p50']:.6f} p95={snap['p95']:.6f} p99={snap['p99']:.6f}"
+    )

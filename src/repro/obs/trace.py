@@ -1,0 +1,261 @@
+"""End-to-end tracing: the substrate of the Performance Recorder.
+
+Tableau's practical answer to "why was this dashboard slow?" is the
+Performance Recorder — a timeline of compile/cache/query/render events.
+This module provides the span machinery behind our equivalent: a
+:class:`Tracer` whose :meth:`~Tracer.span` context manager opens a named,
+attributed span under the current one. The current span propagates
+through ``contextvars``, so nested calls — pipeline phase → executor →
+connector — form a tree without threading a handle through every
+signature.
+
+Two properties matter for a tracer that lives on the hot path:
+
+* **The disabled path is free.** The default tracer is
+  :data:`NULL_TRACER`; its ``span()`` returns a shared no-op context
+  manager, so instrumented code allocates nothing and takes no locks
+  when recording is off.
+* **Worker threads join the trace explicitly.** ``contextvars`` do not
+  flow into ``ThreadPoolExecutor`` workers on their own; callers that
+  fan out capture :meth:`Tracer.current` at submit time and wrap the
+  worker body in :meth:`Tracer.attach`.
+
+A ``clock`` callable (default ``time.perf_counter``) timestamps spans;
+``sim/`` and the tests substitute a :class:`VirtualClock` so traces of
+simulated work are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator
+
+
+class VirtualClock:
+    """A manually-advanced clock for deterministic traces (sim/, tests)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def advance(self, seconds: float) -> float:
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def __call__(self) -> float:
+        return self._now
+
+
+class Span:
+    """One timed, named, attributed interval in a trace tree."""
+
+    __slots__ = ("name", "start_s", "end_s", "attributes", "children", "parent")
+
+    def __init__(self, name: str, start_s: float, parent: "Span | None" = None):
+        self.name = name
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.attributes: dict[str, Any] = {}
+        self.children: list[Span] = []
+        self.parent = parent
+
+    # ------------------------------------------------------------------ #
+    @property
+    def duration_s(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to the span; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with ``name``, or None."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        return [s for s in self.walk() if s.name == name]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (attributes stringified as-is)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_s * 1000:.3f}ms, children={len(self.children)})"
+
+
+class _SpanContext:
+    """Context manager opening one span on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        parent = tracer._current.get()
+        span = Span(self._name, tracer.clock(), parent=parent)
+        if self._attributes:
+            span.attributes.update(self._attributes)
+        if parent is None:
+            with tracer._lock:
+                tracer._roots.append(span)
+        else:
+            # list.append is atomic under the GIL; concurrent workers
+            # attached to the same parent interleave children safely.
+            parent.children.append(span)
+        self._token = tracer._current.set(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end_s = self._tracer.clock()
+        if exc_type is not None:
+            span.attributes.setdefault("error", repr(exc))
+        self._tracer._current.reset(self._token)
+        return False
+
+
+class _AttachContext:
+    """Context manager adopting ``parent`` as the current span."""
+
+    __slots__ = ("_tracer", "_parent", "_token")
+
+    def __init__(self, tracer: "Tracer", parent: Span | None):
+        self._tracer = tracer
+        self._parent = parent
+
+    def __enter__(self) -> Span | None:
+        self._token = self._tracer._current.set(self._parent)
+        return self._parent
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._current.reset(self._token)
+        return False
+
+
+class Tracer:
+    """Collects span trees; one instance per recording."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self.clock = clock or time.perf_counter
+        self._current: ContextVar[Span | None] = ContextVar("repro-obs-span", default=None)
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a child of the current span (or a new root)."""
+        return _SpanContext(self, name, attributes)
+
+    def current(self) -> Span | None:
+        """The innermost open span in this context, if any."""
+        return self._current.get()
+
+    def attach(self, parent: Span | None) -> _AttachContext:
+        """Join a worker thread (or task) to an existing span.
+
+        Capture ``tracer.current()`` where the work is *submitted*, then
+        run the worker body under ``with tracer.attach(captured):`` so its
+        spans nest under the submitter's.
+        """
+        return _AttachContext(self, parent)
+
+    @property
+    def roots(self) -> list[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+class _NoopContext:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullSpan:
+    """Inert span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    start_s = 0.0
+    end_s = 0.0
+    duration_s = 0.0
+    attributes: dict[str, Any] = {}
+    children: list[Span] = []
+    parent = None
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def walk(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> None:
+        return None
+
+    def find_all(self, name: str) -> list[Span]:
+        return []
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+_NOOP_CONTEXT = _NoopContext()
+
+
+class NullTracer:
+    """The default tracer: every operation is a shared no-op."""
+
+    enabled = False
+    roots: tuple = ()
+
+    def span(self, name: str, **attributes: Any) -> _NoopContext:
+        return _NOOP_CONTEXT
+
+    def current(self) -> None:
+        return None
+
+    def attach(self, parent: Span | None) -> _NoopContext:
+        return _NOOP_CONTEXT
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

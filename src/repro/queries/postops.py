@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Union
 
+from .. import obs
 from ..expr.ast import AggExpr, ColumnRef, Expr
 from ..tde.exec.kernels import AggSpec
 from ..tde.exec.physical import (
@@ -117,6 +118,7 @@ def apply_post_ops(table: Table, post_ops: Sequence[PostOp]) -> Table:
     """Run the post-op chain locally over ``table``."""
     ctx = ExecContext(parallel=False)
     for op in post_ops:
+        obs.counter(f"postops.{type(op).__name__}").inc()
         node: PhysNode = PSingleRow(table)
         if isinstance(op, LocalFilter):
             node = PFilter(node, op.predicate)

@@ -18,6 +18,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from .. import obs
 from ..core.pipeline import PipelineOptions, QueryPipeline
 from ..errors import PermissionError_, ServerError
 from ..queries.model import DataSourceModel
@@ -137,6 +138,7 @@ class DataServerSession:
         """
         self._check_open()
         values = tuple(values)
+        obs.counter("dataserver.sets_created").inc()
         self.bytes_from_client += len(repr(values)) + len(handle)
         ltype = self.published.model.schema(self.published.source)[field_name]
         table = Table.from_pydict({field_name: sorted(set(values))}, types={field_name: ltype})
@@ -167,26 +169,32 @@ class DataServerSession:
             raise ServerError(
                 f"spec targets {spec.datasource!r}, session is {self.published.name!r}"
             )
-        self.bytes_from_client += len(spec.canonical()) + sum(
-            len(h) for h in (use_sets or {}).values()
-        )
-        filters = list(spec.filters)
-        for field_name, handle in (use_sets or {}).items():
-            if handle not in self._sets:
-                raise ServerError(f"unknown set handle {handle!r}")
-            set_field, shared = self._sets[handle]
-            if set_field != field_name:
-                raise ServerError(
-                    f"set {handle!r} is over {set_field!r}, not {field_name!r}"
-                )
-            values = self.published.temp_state.get(shared).column(set_field).python_values()
-            filters.append(CategoricalFilter(field_name, tuple(values)))
-        user_filter = self.published.user_filters.get(self.user)
-        if user_filter is not None:
-            filters.append(user_filter)
-        effective = spec.with_filters(tuple(filters))
-        result = self.published.pipeline.run_spec(effective)
-        self.queries_answered += 1
+        # The proxy hop: client spec → published pipeline → result.
+        with obs.span(
+            "dataserver.query", datasource=self.published.name, user=self.user
+        ) as sp:
+            self.bytes_from_client += len(spec.canonical()) + sum(
+                len(h) for h in (use_sets or {}).values()
+            )
+            filters = list(spec.filters)
+            for field_name, handle in (use_sets or {}).items():
+                if handle not in self._sets:
+                    raise ServerError(f"unknown set handle {handle!r}")
+                set_field, shared = self._sets[handle]
+                if set_field != field_name:
+                    raise ServerError(
+                        f"set {handle!r} is over {set_field!r}, not {field_name!r}"
+                    )
+                values = self.published.temp_state.get(shared).column(set_field).python_values()
+                filters.append(CategoricalFilter(field_name, tuple(values)))
+            user_filter = self.published.user_filters.get(self.user)
+            if user_filter is not None:
+                filters.append(user_filter)
+            effective = spec.with_filters(tuple(filters))
+            result = self.published.pipeline.run_spec(effective)
+            self.queries_answered += 1
+            obs.counter("dataserver.queries").inc()
+            sp.set(rows=result.n_rows)
         return result
 
     # ------------------------------------------------------------------ #

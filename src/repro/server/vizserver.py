@@ -15,7 +15,9 @@ node would re-fetch the same dashboards from the backend.
 from __future__ import annotations
 
 import threading
+import time
 
+from .. import obs
 from ..core.cache.distributed import DistributedQueryCache, KeyValueStore
 from ..core.cache.eviction import EvictionPolicy
 from ..core.pipeline import PipelineOptions, QueryPipeline
@@ -122,14 +124,26 @@ class VizServer:
     def load(self, user: str, dashboard_name: str) -> tuple[str, RenderResult]:
         node = self._route()
         session = self._session(user, dashboard_name, node)
-        return node.node_id, session.render()
+        started = time.monotonic()
+        with obs.span(
+            "vizserver.request", op="load", node=node.node_id, dashboard=dashboard_name
+        ):
+            result = session.render()
+        obs.histogram("vizserver.request_s").observe(time.monotonic() - started)
+        return node.node_id, result
 
     def select(
         self, user: str, dashboard_name: str, zone: str, values
     ) -> tuple[str, RenderResult]:
         node = self._route()
         session = self._session(user, dashboard_name, node)
-        return node.node_id, session.select(zone, values)
+        started = time.monotonic()
+        with obs.span(
+            "vizserver.request", op="select", node=node.node_id, dashboard=dashboard_name
+        ):
+            result = session.select(zone, values)
+        obs.histogram("vizserver.request_s").observe(time.monotonic() - started)
+        return node.node_id, result
 
     # ------------------------------------------------------------------ #
     def cache_summary(self) -> dict:

@@ -22,6 +22,11 @@ class Recorder:
     rows: list[list[Any]] = field(default_factory=list)
 
     def add(self, *values: Any) -> None:
+        if self.columns and len(values) > len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells but {self.title!r} declares "
+                f"{len(self.columns)} columns: {values!r}"
+            )
         self.rows.append(list(values))
 
     def render(self) -> str:
@@ -29,6 +34,9 @@ class Recorder:
         formatted: list[list[str]] = []
         for row in self.rows:
             cells = [_fmt(v) for v in row]
+            # Short rows are padded so every cell lines up under a column
+            # (over-long rows were rejected in add()).
+            cells += [""] * (len(self.columns) - len(cells))
             formatted.append(cells)
             for i, cell in enumerate(cells):
                 if i < len(widths):
@@ -39,6 +47,10 @@ class Recorder:
         for cells in formatted:
             lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly series (the machine-readable BENCH_* payload)."""
+        return {"title": self.title, "columns": list(self.columns), "rows": [list(r) for r in self.rows]}
 
     def emit(self) -> None:
         print("\n" + self.render())

@@ -43,7 +43,7 @@ class PExchange(PhysNode):
     def degree(self) -> int:
         return len(self.inputs)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         if not self.inputs:
             raise ExecutionError("exchange with zero inputs")
         if not ctx.parallel or self.ordered or len(self.inputs) == 1:
@@ -106,7 +106,7 @@ class PMergeSorted(PhysNode):
     def degree(self) -> int:
         return len(self.inputs)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         import heapq
 
         from .physical import execute_to_table
@@ -220,7 +220,7 @@ class SharedBuild(PhysNode):
                 self._table = execute_to_table(self.child, ctx)
             return self._table
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         yield self.get(ctx)
 
 

@@ -9,10 +9,13 @@ never mutate input batches.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
+
+from ... import obs
 
 from ...datatypes import LogicalType
 from ...errors import ExecutionError
@@ -49,6 +52,47 @@ class Metrics:
             }
 
 
+class OpRecorder:
+    """Per-operator inclusive timings and row counts (tracing only).
+
+    Timings are *inclusive*: time spent pulling a batch from an operator
+    includes its children, mirroring how profilers report Volcano trees.
+    Attached to an :class:`ExecContext` only while observability is
+    enabled, so the default path pays nothing.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._ops: dict[str, list[float]] = {}  # name -> [rows, seconds, batches]
+
+    def iterate(self, name: str, batches: Iterator[Table]) -> Iterator[Table]:
+        clock = self.clock
+        while True:
+            started = clock()
+            try:
+                batch = next(batches)
+            except StopIteration:
+                self._add(name, 0, clock() - started, 0)
+                return
+            self._add(name, batch.n_rows, clock() - started, 1)
+            yield batch
+
+    def _add(self, name: str, rows: int, seconds: float, batches: int) -> None:
+        with self._lock:
+            acc = self._ops.setdefault(name, [0, 0.0, 0])
+            acc[0] += rows
+            acc[1] += seconds
+            acc[2] += batches
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        with self._lock:
+            return {
+                name: {"rows": acc[0], "seconds": acc[1], "batches": acc[2]}
+                for name, acc in sorted(self._ops.items())
+            }
+
+
 @dataclass
 class ExecContext:
     """Per-query execution context."""
@@ -56,6 +100,8 @@ class ExecContext:
     batch_size: int = 8192
     parallel: bool = True
     metrics: Metrics = field(default_factory=Metrics)
+    #: Set by execute_to_table when observability is on; None otherwise.
+    recorder: OpRecorder | None = None
 
 
 class PhysNode:
@@ -64,7 +110,13 @@ class PhysNode:
     def children(self) -> tuple["PhysNode", ...]:
         return ()
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:  # pragma: no cover
+    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+        """Yield batches, routed through the context's recorder if any."""
+        if ctx.recorder is None:
+            return self._execute(ctx)
+        return ctx.recorder.iterate(type(self).__name__, self._execute(ctx))
+
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:  # pragma: no cover
         raise NotImplementedError
 
     def walk(self) -> Iterator["PhysNode"]:
@@ -76,7 +128,17 @@ class PhysNode:
 def execute_to_table(node: PhysNode, ctx: ExecContext | None = None) -> Table:
     """Run a physical plan to completion and concatenate its batches."""
     ctx = ctx or ExecContext()
-    batches = list(node.execute(ctx))
+    if ctx.recorder is None and obs.enabled():
+        ctx.recorder = OpRecorder()
+        with obs.span("tde.execute", root=type(node).__name__) as sp:
+            batches = list(node.execute(ctx))
+            operators = ctx.recorder.snapshot()
+            sp.set(operators=operators)
+            for name, acc in operators.items():
+                obs.counter(f"tde.op.{name}.rows").inc(acc["rows"])
+                obs.histogram(f"tde.op.{name}.s").observe(acc["seconds"])
+    else:
+        batches = list(node.execute(ctx))
     if not batches:
         raise ExecutionError("operator produced no batches (broken contract)")
     return Table.concat(batches) if len(batches) > 1 else batches[0]
@@ -100,7 +162,7 @@ class PScan(PhysNode):
     start: int = 0
     stop: int | None = None
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         stop = self.table.n_rows if self.stop is None else self.stop
         start = self.start
         emitted = False
@@ -145,7 +207,7 @@ class PIndexedRleScan(PhysNode):
     residual: Expr | None = None
     columns: list[str] | None = None
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         col = self.table.column(self.column)
         vec = col.physical
         if not isinstance(vec, RleVector):
@@ -197,7 +259,7 @@ class PSingleRow(PhysNode):
 
     table: Table
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         yield self.table
 
 
@@ -212,7 +274,7 @@ class PFilter(PhysNode):
     def children(self) -> tuple[PhysNode, ...]:
         return (self.child,)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         for batch in self.child.execute(ctx):
             yield batch.filter(evaluate_predicate(self.predicate, batch))
 
@@ -225,7 +287,7 @@ class PProject(PhysNode):
     def children(self) -> tuple[PhysNode, ...]:
         return (self.child,)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         types: dict[str, LogicalType] | None = None
         for batch in self.child.execute(ctx):
             if types is None:
@@ -254,7 +316,7 @@ class PLimit(PhysNode):
     def children(self) -> tuple[PhysNode, ...]:
         return (self.child,)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         remaining = self.n
         emitted = False
         for batch in self.child.execute(ctx):
@@ -292,7 +354,7 @@ class PHashJoin(PhysNode):
     def children(self) -> tuple[PhysNode, ...]:
         return (self.probe, self.build_source)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         from .exchange import SharedBuild
 
         if isinstance(self.build_source, SharedBuild):
@@ -361,7 +423,7 @@ class PHashAggregate(PhysNode):
     def children(self) -> tuple[PhysNode, ...]:
         return (self.child,)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         source = execute_to_table(self.child, ctx)
         yield aggregate_table(source, self.groupby, self.specs)
 
@@ -411,7 +473,7 @@ class PStreamAggregate(PhysNode):
     def children(self) -> tuple[PhysNode, ...]:
         return (self.child,)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         carry: Table | None = None
         emitted = False
         for batch in self.child.execute(ctx):
@@ -473,7 +535,7 @@ class PWindow(PhysNode):
     def children(self) -> tuple[PhysNode, ...]:
         return (self.child,)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         from ..tql.binder import _window_type
 
         source = execute_to_table(self.child, ctx)
@@ -587,7 +649,7 @@ class PSort(PhysNode):
     def children(self) -> tuple[PhysNode, ...]:
         return (self.child,)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         source = execute_to_table(self.child, ctx)
         yield source.sort_by(list(self.keys))
 
@@ -603,7 +665,7 @@ class PTopN(PhysNode):
     def children(self) -> tuple[PhysNode, ...]:
         return (self.child,)
 
-    def execute(self, ctx: ExecContext) -> Iterator[Table]:
+    def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         buffer: Table | None = None
         for batch in self.child.execute(ctx):
             buffer = batch if buffer is None else Table.concat([buffer, batch])

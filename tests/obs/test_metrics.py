@@ -1,0 +1,101 @@
+"""MetricsRegistry: counters, gauges, histogram percentile math, null path."""
+
+import pytest
+
+from repro.obs import NULL_METRICS, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_snapshot(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.counter("hits") is c  # get-or-create
+        assert reg.snapshot()["hits"] == {"type": "counter", "value": 5}
+
+
+class TestGauge:
+    def test_set_inc_dec_high_water(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(3)
+        g.inc()
+        g.inc()
+        g.dec()
+        assert g.value == 4
+        assert g.high_water == 5
+        snap = reg.snapshot()["depth"]
+        assert snap == {"type": "gauge", "value": 4, "high_water": 5}
+
+
+class TestHistogramPercentiles:
+    def test_linear_interpolation_between_closest_ranks(self):
+        h = Histogram("t")
+        for v in range(1, 101):
+            h.observe(float(v))
+        # numpy-style linear interpolation: rank = (p/100) * (n-1)
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(95) == pytest.approx(95.05)
+        assert h.percentile(99) == pytest.approx(99.01)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_single_observation(self):
+        h = Histogram("t")
+        h.observe(7.0)
+        assert h.percentile(50) == 7.0
+        assert h.percentile(99) == 7.0
+
+    def test_empty_histogram_has_no_percentiles(self):
+        h = Histogram("t")
+        assert h.percentile(50) is None
+        assert h.snapshot() == {"type": "histogram", "count": 0}
+
+    def test_out_of_range_percentile_raises(self):
+        h = Histogram("t")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_unsorted_observations(self):
+        h = Histogram("t")
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.percentile(50) == 3.0
+        assert h.count == 5
+        assert h.mean == pytest.approx(3.0)
+        assert h.total == pytest.approx(15.0)
+
+    def test_snapshot_keys(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(1.0)
+        snap = reg.snapshot()["lat"]
+        assert set(snap) == {"type", "count", "sum", "min", "max", "mean", "p50", "p95", "p99"}
+        assert snap["count"] == 1 and snap["p99"] == 1.0
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_null_registry_shares_instruments_and_records_nothing(self):
+        c = NULL_METRICS.counter("a")
+        assert NULL_METRICS.counter("b") is c  # shared singleton: no allocation
+        c.inc(100)
+        NULL_METRICS.gauge("g").set(9)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.histogram("h").percentile(50) is None

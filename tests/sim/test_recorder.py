@@ -1,0 +1,54 @@
+"""Recorder regressions: row/column alignment and _fmt edge cases."""
+
+import pytest
+
+from repro.sim.metrics import Recorder, _fmt
+
+
+class TestRecorderRows:
+    def test_short_rows_are_padded_not_truncated(self):
+        rec = Recorder("t", columns=["a", "b", "c"])
+        rec.add(1)
+        rec.add(1, 2, 3)
+        lines = rec.render().splitlines()
+        # The short row renders blanks for its missing cells; the full row
+        # keeps every cell (formerly zip() truncated rows to the shortest).
+        assert lines[-1].split() == ["1", "2", "3"]
+        assert lines[-2].split() == ["1"]
+        assert rec.rows == [[1], [1, 2, 3]]
+
+    def test_over_long_row_raises(self):
+        rec = Recorder("t", columns=["a", "b"])
+        with pytest.raises(ValueError, match="3 cells"):
+            rec.add(1, 2, 3)
+
+    def test_no_columns_accepts_any_width(self):
+        rec = Recorder("t")
+        rec.add(1, 2, 3, 4)
+        assert rec.rows == [[1, 2, 3, 4]]
+
+    def test_to_dict(self):
+        rec = Recorder("t", columns=["x", "y"])
+        rec.add("a", 1.5)
+        assert rec.to_dict() == {"title": "t", "columns": ["x", "y"], "rows": [["a", 1.5]]}
+
+
+class TestFmt:
+    def test_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_negative_floats_in_every_branch(self):
+        # abs() guards the branch selection: formerly -0.5 fell through to
+        # the >=100 / >=1 comparisons and got the wrong precision.
+        assert _fmt(-250.0) == "-250"
+        assert _fmt(-2.5) == "-2.50"
+        assert _fmt(-0.5) == "-0.5000"
+
+    def test_positive_floats(self):
+        assert _fmt(250.0) == "250"
+        assert _fmt(2.5) == "2.50"
+        assert _fmt(0.5) == "0.5000"
+
+    def test_non_floats_pass_through(self):
+        assert _fmt(7) == "7"
+        assert _fmt("x") == "x"
