@@ -62,7 +62,12 @@ def record(
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(recorder.render() + "\n")
     if isinstance(trace, PerformanceRecording):
-        trace = {"phases": trace.phase_summary(), "metrics": trace.metrics.snapshot()}
+        trace = {
+            "phases": trace.phase_summary(),
+            "metrics": trace.metrics.snapshot(),
+            "events": trace.event_log.to_list(),
+            "event_counts": trace.event_log.kinds(),
+        }
     payload = {
         "schema_version": SCHEMA_VERSION,
         "experiment": name,

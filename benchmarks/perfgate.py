@@ -1,0 +1,320 @@
+"""Perf-regression gate over the ``BENCH_<exp>.json`` artifacts.
+
+Compares freshly produced ``benchmarks/_results/BENCH_*.json`` files
+against the committed baselines in ``benchmarks/_baselines/`` and fails
+(non-zero exit) when a *time-like* metric drifted past its tolerance.
+
+Only time-like columns gate — column names ending in ``_ms``/``_s`` or
+containing ``elapsed``/``time``, where higher is unambiguously worse.
+Everything else (counts such as ``remote`` queries or cache hits) is
+reported as informational drift but never fails the gate, because their
+direction-of-badness depends on the experiment.
+
+Tolerances are *relative* and per experiment, grouped into profiles:
+
+- ``default`` — for a quiet local machine; fairly tight.
+- ``ci``      — for noisy shared runners; generous, meant to catch
+  order-of-magnitude regressions (a cache hit falling back to the cold
+  path) rather than scheduler jitter.
+
+Usage::
+
+    python benchmarks/perfgate.py                      # gate against baselines
+    python benchmarks/perfgate.py --tolerance-profile ci
+    python benchmarks/perfgate.py --warn-only          # report, exit 0
+    python benchmarks/perfgate.py --update             # bless current results
+    python benchmarks/perfgate.py --self-test          # verify the gate trips
+
+``--self-test`` fabricates a >tolerance slowdown from the baselines
+themselves and checks the gate detects it — so CI can hard-fail when the
+gate goes blind even while treating real drift as warn-only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import shutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR / "_results"
+BASELINES_DIR = BENCH_DIR / "_baselines"
+
+#: Relative tolerance on time-like metrics, by profile. A fresh value of
+#: ``baseline * (1 + tol)`` or more is a regression. Per-experiment
+#: overrides exist because some experiments measure sub-millisecond local
+#: paths (noisy) while others measure modeled backend times (stable).
+TOLERANCE_PROFILES: dict[str, dict[str, float]] = {
+    "default": {
+        "*": 0.75,
+        # Cache-hit rows sit in the 0.1-1ms range where interpreter noise
+        # is proportionally large; the signal we guard is "hit became a
+        # cold path", a >10x move.
+        "e6_query_caching": 1.5,
+        "e6b_interaction_trace": 1.5,
+    },
+    "ci": {
+        "*": 3.0,
+        "e6_query_caching": 5.0,
+        "e6b_interaction_trace": 5.0,
+    },
+}
+
+#: Below this many milliseconds (or the equivalent in seconds) a metric
+#: is too small to gate reliably; drift is reported as info only.
+MIN_GATED_MS = 0.05
+
+
+@dataclass
+class Drift:
+    experiment: str
+    metric: str
+    baseline: float
+    current: float
+    status: str  # "ok" | "regression" | "improved" | "info" | "missing"
+
+    @property
+    def rel(self) -> float | None:
+        if self.baseline == 0:
+            return None
+        return (self.current - self.baseline) / self.baseline
+
+
+def is_time_column(name: str) -> bool:
+    lowered = name.lower()
+    return (
+        lowered.endswith("_ms")
+        or lowered.endswith("_s")
+        or "elapsed" in lowered
+        or "time" in lowered
+    )
+
+
+def iter_metrics(payload: dict[str, Any]) -> Iterator[tuple[str, str, float]]:
+    """Yield ``(metric_name, column, value)`` for every numeric cell.
+
+    The metric name is ``<row label>/<column>`` — stable across runs
+    because experiments emit fixed row labels.
+    """
+    series = payload.get("series") or {}
+    columns = series.get("columns") or []
+    for row in series.get("rows") or []:
+        label = str(row[0]) if row else "?"
+        for col, value in zip(columns[1:], row[1:]):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            yield f"{label}/{col}", col, float(value)
+
+
+def metric_is_gated(column: str, baseline: float) -> bool:
+    if not is_time_column(column):
+        return False
+    floor = MIN_GATED_MS if column.lower().endswith("_ms") else MIN_GATED_MS / 1000.0
+    return baseline >= floor
+
+
+def load(path: Path) -> dict[str, Any]:
+    return json.loads(path.read_text())
+
+
+def experiment_name(path: Path) -> str:
+    return path.stem[len("BENCH_"):]
+
+
+def key_metric(payload: dict[str, Any]) -> tuple[str, float] | None:
+    """The experiment's headline number: its largest time-like cell."""
+    best: tuple[str, float] | None = None
+    for name, col, value in iter_metrics(payload):
+        if is_time_column(col) and (best is None or value > best[1]):
+            best = (name, value)
+    if best is None:
+        for name, _col, value in iter_metrics(payload):
+            return name, value
+    return best
+
+
+def compare(
+    experiment: str,
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    tolerance: float,
+) -> list[Drift]:
+    base_metrics = {name: (col, v) for name, col, v in iter_metrics(baseline)}
+    cur_metrics = {name: (col, v) for name, col, v in iter_metrics(current)}
+    drifts: list[Drift] = []
+    for name, (col, base_v) in base_metrics.items():
+        if name not in cur_metrics:
+            drifts.append(Drift(experiment, name, base_v, float("nan"), "missing"))
+            continue
+        cur_v = cur_metrics[name][1]
+        if not metric_is_gated(col, base_v):
+            status = "info"
+        elif cur_v > base_v * (1.0 + tolerance):
+            status = "regression"
+        elif cur_v < base_v / (1.0 + tolerance):
+            status = "improved"
+        else:
+            status = "ok"
+        drifts.append(Drift(experiment, name, base_v, cur_v, status))
+    return drifts
+
+
+def tolerance_for(experiment: str, profile: dict[str, float]) -> float:
+    return profile.get(experiment, profile["*"])
+
+
+def render_table(drifts: list[Drift]) -> str:
+    headers = ("experiment", "metric", "baseline", "current", "delta", "status")
+    rows = [headers]
+    for d in drifts:
+        delta = "n/a" if d.rel is None or d.current != d.current else f"{d.rel:+.1%}"
+        cur = "missing" if d.current != d.current else f"{d.current:.4g}"
+        rows.append(
+            (d.experiment, d.metric, f"{d.baseline:.4g}", cur, delta, d.status)
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def gate(
+    results_dir: Path,
+    baselines_dir: Path,
+    profile: dict[str, float],
+    pattern: str,
+) -> tuple[list[Drift], list[str]]:
+    """Compare every baselined experiment; return (drifts, problems)."""
+    drifts: list[Drift] = []
+    problems: list[str] = []
+    baselines = sorted(baselines_dir.glob("BENCH_*.json"))
+    if not baselines:
+        problems.append(f"no baselines under {baselines_dir}")
+    for base_path in baselines:
+        exp = experiment_name(base_path)
+        if not fnmatch.fnmatch(exp, pattern):
+            continue
+        cur_path = results_dir / base_path.name
+        if not cur_path.exists():
+            problems.append(f"{exp}: no fresh result at {cur_path}")
+            continue
+        drifts.extend(
+            compare(exp, load(base_path), load(cur_path), tolerance_for(exp, profile))
+        )
+    return drifts, problems
+
+
+def update_baselines(results_dir: Path, baselines_dir: Path, pattern: str) -> int:
+    baselines_dir.mkdir(exist_ok=True)
+    copied = 0
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if fnmatch.fnmatch(experiment_name(path), pattern):
+            shutil.copy(path, baselines_dir / path.name)
+            copied += 1
+    return copied
+
+
+def self_test(baselines_dir: Path, profile: dict[str, float]) -> int:
+    """Inject a synthetic slowdown; the gate must catch it (exit 0 if so)."""
+    baselines = sorted(baselines_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"perfgate self-test: no baselines under {baselines_dir}", file=sys.stderr)
+        return 1
+    failures = 0
+    for base_path in baselines:
+        exp = experiment_name(base_path)
+        payload = load(base_path)
+        tol = tolerance_for(exp, profile)
+        slowed = json.loads(json.dumps(payload))
+        factor = 1.0 + tol * 4.0
+        rows = (slowed.get("series") or {}).get("rows") or []
+        columns = (slowed.get("series") or {}).get("columns") or []
+        for row in rows:
+            for i, col in enumerate(columns[1:], start=1):
+                if is_time_column(col) and isinstance(row[i], (int, float)):
+                    row[i] = row[i] * factor
+        drifts = compare(exp, payload, slowed, tol)
+        gated = [d for d in drifts if d.status == "regression"]
+        had_gateable = any(
+            metric_is_gated(col, v) for _n, col, v in iter_metrics(payload)
+        )
+        if had_gateable and not gated:
+            print(f"perfgate self-test FAILED: {exp} slowdown x{factor:.1f} undetected")
+            failures += 1
+    if failures:
+        return 1
+    print(f"perfgate self-test ok: synthetic slowdowns detected across "
+          f"{len(baselines)} baseline(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", type=Path, default=RESULTS_DIR)
+    parser.add_argument("--baselines", type=Path, default=BASELINES_DIR)
+    parser.add_argument(
+        "--tolerance-profile",
+        choices=sorted(TOLERANCE_PROFILES),
+        default="default",
+    )
+    parser.add_argument(
+        "--filter", default="*", help="gate only experiments matching this glob"
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report drift but always exit 0 (for noisy shared runners)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy current results into the baseline directory and exit",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate trips on a synthetic slowdown",
+    )
+    parser.add_argument("--json", action="store_true", help="emit drifts as JSON")
+    args = parser.parse_args(argv)
+    profile = TOLERANCE_PROFILES[args.tolerance_profile]
+
+    if args.update:
+        n = update_baselines(args.results, args.baselines, args.filter)
+        print(f"blessed {n} baseline(s) into {args.baselines}")
+        return 0
+    if args.self_test:
+        return self_test(args.baselines, profile)
+
+    drifts, problems = gate(args.results, args.baselines, profile, args.filter)
+    if args.json:
+        print(json.dumps([d.__dict__ for d in drifts], indent=2))
+    elif drifts:
+        print(render_table(drifts))
+    for problem in problems:
+        print(f"perfgate: {problem}", file=sys.stderr)
+    regressions = [d for d in drifts if d.status in ("regression", "missing")]
+    for d in regressions:
+        rel = "" if d.rel is None or d.current != d.current else f" ({d.rel:+.1%})"
+        print(
+            f"perfgate: REGRESSION {d.experiment} {d.metric}: "
+            f"{d.baseline:.4g} -> {d.current:.4g}{rel}",
+            file=sys.stderr,
+        )
+    failed = bool(regressions or problems)
+    if failed and args.warn_only:
+        print("perfgate: warn-only mode, exiting 0", file=sys.stderr)
+        return 0
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,31 +2,74 @@
 
 Usage (from the repository root)::
 
-    python benchmarks/run_all.py             # all experiments
-    python benchmarks/run_all.py e1 e6       # a subset, by id
+    python benchmarks/run_all.py                  # all experiments
+    python benchmarks/run_all.py e1 e6            # a subset, by id
+    python benchmarks/run_all.py --filter 'e1*'   # a subset, by glob
+    python benchmarks/run_all.py --json           # machine-readable summary
 
 Each experiment prints its paper-shaped series, writes the aligned-text
 table to ``benchmarks/_results/<exp>.txt`` and the machine-readable
 ``benchmarks/_results/BENCH_<exp>.json`` (series + per-phase trace
-summary where the experiment captures one). Exit status is pytest's.
+summary and decision events where the experiment captures them).
+
+``--json`` prints, after the run, one summary line per produced
+``BENCH_*.json``: experiment name, its key metric, and the relative
+delta against the committed baseline (when one exists under
+``benchmarks/_baselines/``). Exit status is non-zero if any experiment
+crashed or failed (pytest's exit code is propagated).
 """
 
 from __future__ import annotations
 
+import fnmatch
+import json
 import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 
 
+def _summarize(results_dir: Path, baselines_dir: Path) -> list[dict]:
+    from benchmarks.perfgate import experiment_name, iter_metrics, key_metric, load
+
+    summary = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        exp = experiment_name(path)
+        payload = load(path)
+        headline = key_metric(payload)
+        entry: dict = {"experiment": exp, "key_metric": None, "value": None,
+                       "baseline": None, "delta": None}
+        if headline is not None:
+            entry["key_metric"], entry["value"] = headline
+        base_path = baselines_dir / path.name
+        if base_path.exists() and headline is not None:
+            base_metrics = {n: v for n, _c, v in iter_metrics(load(base_path))}
+            base_v = base_metrics.get(headline[0])
+            if base_v:
+                entry["baseline"] = base_v
+                entry["delta"] = (headline[1] - base_v) / base_v
+        summary.append(entry)
+    return summary
+
+
 def main(argv: list[str] | None = None) -> int:
     import pytest
 
     argv = list(sys.argv[1:] if argv is None else argv)
+    emit_json = "--json" in argv
+    argv = [a for a in argv if a != "--json"]
+    patterns: list[str] = []
+    while "--filter" in argv:
+        i = argv.index("--filter")
+        if i + 1 >= len(argv):
+            print("--filter needs a glob argument", file=sys.stderr)
+            return 2
+        patterns.append(argv[i + 1])
+        del argv[i : i + 2]
     selectors = [a for a in argv if not a.startswith("-")]
     extra = [a for a in argv if a.startswith("-")]
+    targets: list[str] = []
     if selectors:
-        targets = []
         for sel in selectors:
             matches = sorted(BENCH_DIR.glob(f"bench_{sel}_*.py")) or sorted(
                 BENCH_DIR.glob(f"*{sel}*.py")
@@ -35,7 +78,17 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"no benchmark matches {sel!r}", file=sys.stderr)
                 return 2
             targets.extend(str(m) for m in matches)
-    else:
+    if patterns:
+        candidates = targets or [str(p) for p in sorted(BENCH_DIR.glob("bench_*.py"))]
+        targets = [
+            t
+            for t in candidates
+            if any(fnmatch.fnmatch(Path(t).stem[len("bench_"):], p) for p in patterns)
+        ]
+        if not targets:
+            print(f"no benchmark matches --filter {patterns!r}", file=sys.stderr)
+            return 2
+    if not targets:
         targets = [str(BENCH_DIR)]
     # Ensure `import benchmarks.conftest` and `import repro` resolve when
     # invoked as a plain script (pytest runs in-process, so this suffices
@@ -43,7 +96,13 @@ def main(argv: list[str] | None = None) -> int:
     for path in (str(BENCH_DIR.parent), str(BENCH_DIR.parent / "src")):
         if path not in sys.path:
             sys.path.insert(0, path)
-    return pytest.main(["-q", "--no-header", *extra, *targets])
+    code = pytest.main(["-q", "--no-header", *extra, *targets])
+    if emit_json:
+        summary = _summarize(BENCH_DIR / "_results", BENCH_DIR / "_baselines")
+        print(json.dumps(summary, indent=2))
+    # pytest exit codes: 0 ok; anything else (failed, error, interrupted,
+    # usage error, no tests collected) means the run did not fully succeed.
+    return int(code)
 
 
 if __name__ == "__main__":

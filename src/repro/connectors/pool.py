@@ -71,7 +71,21 @@ class ConnectionPool:
                 if conn is not None:
                     self._busy.add(conn)
                     self.stats.reused += 1
-                    self._record_acquire("reused", wait_started)
+                    if prefer_temp_table is not None and conn.has_temp_table(
+                        prefer_temp_table
+                    ):
+                        reason = (
+                            f"idle connection already holds temp table "
+                            f"{prefer_temp_table!r}: reusing its remote session"
+                        )
+                    elif prefer_temp_table is not None:
+                        reason = (
+                            f"reused an idle connection (none held temp table "
+                            f"{prefer_temp_table!r}; it must be re-created)"
+                        )
+                    else:
+                        reason = "reused an idle connection"
+                    self._record_acquire("reused", wait_started, reason)
                     return conn
                 if len(self._busy) + len(self._idle) < self.max_connections:
                     break
@@ -84,13 +98,33 @@ class ConnectionPool:
         with self._lock:
             self._busy.add(conn)
             self.stats.opened += 1
-            self._record_acquire("opened", wait_started)
+            self._record_acquire(
+                "opened",
+                wait_started,
+                f"no idle connection available: opened a new one "
+                f"({len(self._busy) + len(self._idle)}/{self.max_connections})",
+            )
         return conn
 
-    def _record_acquire(self, how: str, wait_started: float | None) -> None:
+    def _record_acquire(
+        self, how: str, wait_started: float | None, reason: str
+    ) -> None:
         obs.counter(f"pool.{how}").inc()
+        waited = None
         if wait_started is not None:
-            obs.histogram("pool.wait_s").observe(time.monotonic() - wait_started)
+            waited = time.monotonic() - wait_started
+            obs.histogram("pool.wait_s").observe(waited)
+        if obs.events_enabled():
+            if waited is not None:
+                reason += f" after waiting {waited * 1000.0:.1f}ms for a slot"
+            obs.event(
+                "pool",
+                how,
+                reason,
+                source=self.source.name,
+                busy=len(self._busy),
+                idle=len(self._idle),
+            )
 
     def _pick_idle(self, prefer_temp_table: str | None) -> Connection | None:
         if not self._idle:
@@ -125,6 +159,15 @@ class ConnectionPool:
             keep: list[Connection] = []
             for conn in self._idle:
                 if conn.idle_seconds() > ttl:
+                    if obs.events_enabled():
+                        obs.event(
+                            "pool",
+                            "evicted",
+                            f"idle for {conn.idle_seconds():.1f}s, over the "
+                            f"{ttl:.1f}s limit: closed to release remote "
+                            f"resources",
+                            source=self.source.name,
+                        )
                     conn.close()
                     evicted += 1
                 else:

@@ -12,6 +12,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from ... import obs
+
 
 @dataclass
 class CacheEntry:
@@ -46,15 +48,31 @@ class EvictionPolicy:
     max_age_s: float = float("inf")
 
     def purge(self, entries: dict[str, CacheEntry]) -> list[str]:
-        """Remove entries until within capacity; return evicted keys."""
+        """Remove entries until within capacity; return evicted keys.
+
+        Every victim is reported as a ``cache.eviction`` decision event
+        carrying the three retention inputs the paper names — entry age,
+        usage, and re-evaluation expense — plus the combined score, so a
+        recording shows *why* that entry lost.
+        """
         now = time.monotonic()
-        evicted = [
-            key
-            for key, e in entries.items()
-            if now - e.created_at > self.max_age_s
-        ]
-        for key in evicted:
-            del entries[key]
+        expired = [e for e in entries.values() if now - e.created_at > self.max_age_s]
+        evicted: list[str] = []
+        for entry in expired:
+            del entries[entry.key]
+            evicted.append(entry.key)
+            if obs.events_enabled():
+                obs.event(
+                    "cache.eviction",
+                    "evicted",
+                    f"expired: created {now - entry.created_at:.1f}s ago, "
+                    f"max age is {self.max_age_s:.1f}s",
+                    key=entry.key,
+                    age_s=now - entry.last_used,
+                    uses=entry.uses,
+                    cost_s=entry.cost_s,
+                    score=entry.retention_score(now),
+                )
         total = sum(e.size_bytes for e in entries.values())
         if len(entries) <= self.max_entries and total <= self.max_bytes:
             return evicted
@@ -65,4 +83,23 @@ class EvictionPolicy:
             del entries[entry.key]
             total -= entry.size_bytes
             evicted.append(entry.key)
+            if obs.events_enabled():
+                over = (
+                    "entry count over limit"
+                    if len(entries) >= self.max_entries
+                    else "size over limit"
+                )
+                obs.event(
+                    "cache.eviction",
+                    "evicted",
+                    f"lowest retention score {entry.retention_score(now):.4g} "
+                    f"under capacity pressure ({over}): age "
+                    f"{now - entry.last_used:.1f}s, {entry.uses} uses, "
+                    f"re-evaluation cost {entry.cost_s:.3f}s",
+                    key=entry.key,
+                    age_s=now - entry.last_used,
+                    uses=entry.uses,
+                    cost_s=entry.cost_s,
+                    score=entry.retention_score(now),
+                )
         return evicted

@@ -101,6 +101,45 @@ def match_specs(provider: QuerySpec, request: QuerySpec) -> MatchResult | None:
     return MatchResult(tuple(post_ops))
 
 
+def explain_mismatch(provider: QuerySpec, request: QuerySpec) -> str:
+    """Why :func:`match_specs` returned None, as a human-readable reason.
+
+    Re-proves the failure along the same check order, so the returned
+    reason names the first gate the pair failed. Only called on the slow
+    path (decision-event emission); the hot path never pays for it.
+    """
+    if provider.datasource != request.datasource:
+        return "cached entry belongs to a different data source"
+    if provider.limit is not None:
+        return "cached result is LIMIT-truncated and cannot answer anything else"
+    if _topn_signature(provider) != _topn_signature(request):
+        return "top-n filter signatures differ (top-n is not relaxable)"
+    if not set(request.dimensions) <= set(provider.dimensions):
+        missing = sorted(set(request.dimensions) - set(provider.dimensions))
+        return f"requested dimensions {missing} are absent from the cached grain"
+    extra_predicates = _filter_difference(provider, request)
+    if extra_predicates is None:
+        return (
+            "request rows are not provably a subset of cached rows "
+            "(a cached filter is not implied by the request's)"
+        )
+    if extra_predicates and _topn_signature(provider):
+        return "narrowing filters under a top-n filter would require re-ranking"
+    for pred_field in _fields_of(extra_predicates):
+        if pred_field not in provider.dimensions:
+            return (
+                f"cannot post-filter on {pred_field!r}: "
+                "not grouped in the cached result"
+            )
+    rollup = tuple(request.dimensions) != tuple(provider.dimensions)
+    if _derive_measures(provider, request, rollup=rollup) is None:
+        return (
+            "a requested measure cannot be derived from the cached one "
+            "(not additive across groups, or its components are missing)"
+        )
+    return "no mismatch found (the pair matches)"  # pragma: no cover
+
+
 def _topn_signature(spec: QuerySpec) -> frozenset[str]:
     return frozenset(f.canonical() for f in spec.filters if isinstance(f, TopNFilter))
 
@@ -352,9 +391,16 @@ class IntelligentCache:
                 exact.touch()
                 self.stats.exact_hits += 1
                 obs.counter("cache.intelligent.exact_hits").inc()
+                obs.event(
+                    "cache.subsumption",
+                    "accepted",
+                    "exact match: the cached query has the same canonical form",
+                    spec=key,
+                )
                 return exact.value
             best: tuple[MatchResult, CacheEntry] | None = None
-            for entry_key in self._candidate_keys(spec):
+            candidates = self._candidate_keys(spec)
+            for entry_key in candidates:
                 entry = self._entries.get(entry_key)
                 if entry is None:
                     continue
@@ -369,11 +415,38 @@ class IntelligentCache:
             if best is None:
                 self.stats.misses += 1
                 obs.counter("cache.intelligent.misses").inc()
+                if obs.events_enabled():
+                    if not candidates:
+                        reason = "no cached entries for this data source"
+                    else:
+                        sample = explain_mismatch(self._specs[candidates[0]], spec)
+                        reason = (
+                            f"none of {len(candidates)} candidate(s) subsume the "
+                            f"request; e.g. {sample}"
+                        )
+                    obs.event(
+                        "cache.subsumption",
+                        "rejected",
+                        reason,
+                        spec=key,
+                        candidates=len(candidates),
+                    )
                 return None
             match, entry = best
             entry.touch()
             self.stats.subsumption_hits += 1
             obs.counter("cache.intelligent.subsumption_hits").inc()
+            if obs.events_enabled():
+                ops = [type(op).__name__ for op in match.post_ops]
+                obs.event(
+                    "cache.subsumption",
+                    "accepted",
+                    "cached result proven to subsume the request; deriving via "
+                    + (" -> ".join(ops) if ops else "no post-processing"),
+                    spec=key,
+                    provider=entry.key,
+                    post_ops=ops,
+                )
             table = entry.value
         return apply_post_ops(table, match.post_ops)
 

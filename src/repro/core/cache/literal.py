@@ -43,10 +43,23 @@ class LiteralCache:
             if entry is None:
                 self.stats.misses += 1
                 obs.counter("cache.literal.misses").inc()
+                obs.event(
+                    "cache.literal",
+                    "miss",
+                    "no cached result for this query text",
+                    key=key[:40],
+                )
                 return None
             entry.touch()
             self.stats.hits += 1
             obs.counter("cache.literal.hits").inc()
+            obs.event(
+                "cache.literal",
+                "hit",
+                "query text matched a cached result",
+                key=key[:40],
+                rows=entry.value.n_rows,
+            )
             return entry.value
 
     def put(self, key: str, datasource: str, result: Table, *, cost_s: float = 0.0) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..expr.ast import ColumnRef
 from ..expr.sexpr import to_sexpr
 from ..queries.postops import LocalProject, LocalSort, LocalTopN, PostOp
@@ -48,9 +49,26 @@ def fuse_batch(specs: list[QuerySpec], *, enabled: bool = True) -> list[FusedQue
     out: list[FusedQuery] = []
     for members in groups.values():
         if len(members) == 1:
+            if len(specs) > 1:
+                obs.event(
+                    "fusion",
+                    "not_fused",
+                    "no other query in the batch shares this query's relation "
+                    "(datasource, dimensions, filters)",
+                    spec=members[0].canonical(),
+                )
             out.append(_singleton(members[0]))
         else:
-            out.append(_fuse(members))
+            fused = _fuse(members)
+            obs.event(
+                "fusion",
+                "fused",
+                f"{len(members)} queries over the same relation merged; "
+                f"projection union has {len(fused.spec.measures)} measures",
+                members=[m.canonical() for m in members],
+                spec=fused.spec.canonical(),
+            )
+            out.append(fused)
     return out
 
 

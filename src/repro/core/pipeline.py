@@ -235,6 +235,97 @@ class QueryPipeline:
                 result.batch_local += 1
 
     # ------------------------------------------------------------------ #
+    def explain_batch(
+        self, specs: list[QuerySpec], *, analyze: bool = False
+    ) -> list[dict]:
+        """Per-request plan report: what ``run_batch`` would do, and why.
+
+        The dry-run counterpart of :meth:`run_batch`. Probes the
+        intelligent cache, runs the batch-graph and fusion analyses, and
+        compiles every query that would go remote; when the data source
+        exposes an in-process :class:`~repro.tde.engine.DataEngine`
+        (``TdeDataSource`` or a simulated backend) each remote query also
+        carries the engine's EXPLAIN of its plan (EXPLAIN ANALYZE with
+        ``analyze=True``, which executes the plan once on the backend
+        engine). No results are transferred and no cache is populated —
+        the only side effect is that cache probes count as uses, exactly
+        as a real request's probe would.
+
+        Returns one dict per distinct spec: ``spec`` (canonical form),
+        ``decision`` (human-readable routing outcome), and for remote
+        queries ``language``/``text``/``post_ops`` plus ``plan`` (an
+        :class:`~repro.obs.explain.ExplainResult` or None when the
+        backend's plans are not inspectable).
+        """
+        from .cache.intelligent import match_specs as _match
+
+        ordered: list[QuerySpec] = []
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.canonical() not in seen:
+                seen.add(spec.canonical())
+                ordered.append(spec)
+        reports: dict[str, dict] = {}
+        pending: list[QuerySpec] = []
+        for spec in ordered:
+            entry: dict = {"spec": spec.canonical()}
+            if self.options.enable_intelligent_cache:
+                cached = self.intelligent_cache.lookup(spec)
+                if cached is not None:
+                    entry["decision"] = "answered from the intelligent cache"
+                    reports[spec.canonical()] = entry
+                    continue
+            reports[spec.canonical()] = entry
+            pending.append(spec)
+        if self.options.enable_batch_graph and len(pending) > 1:
+            graph = build_batch_graph(pending)
+            remote_specs = [pending[i] for i in graph.remote]
+            for j in graph.local:
+                provider = pending[graph.provider_of[j]]
+                reports[pending[j].canonical()]["decision"] = (
+                    "batch-local: derivable from the result of "
+                    f"{provider.canonical()}"
+                )
+        else:
+            remote_specs = list(pending)
+        fused = fuse_batch(remote_specs, enabled=self.options.enable_fusion)
+        backend = self._backend_engine()
+        for fq in fused:
+            compiled = compile_spec(
+                fq.spec,
+                self.model,
+                self.source,
+                externalize_threshold=self.options.externalize_threshold,
+            )
+            plan = None
+            if backend is not None and not compiled.temp_tables:
+                plan = backend.explain(compiled.plan, analyze=analyze)
+            lead_key = fq.spec.canonical()
+            for member in fq.members:
+                key = member.canonical()
+                entry = reports[key]
+                if key == lead_key or len(fq.members) == 1:
+                    entry["decision"] = "sent remote"
+                else:
+                    entry["decision"] = f"fused into {lead_key}"
+                    member_match = _match(fq.spec, member)
+                    if member_match is not None:
+                        entry["post_ops"] = [
+                            type(op).__name__ for op in member_match.post_ops
+                        ]
+                entry["language"] = compiled.language
+                entry["text"] = compiled.text
+                entry["plan"] = plan
+        return [reports[spec.canonical()] for spec in ordered]
+
+    def _backend_engine(self):
+        """The in-process DataEngine behind the source, if inspectable."""
+        engine = getattr(self.source, "engine", None)
+        if engine is None:
+            engine = getattr(getattr(self.source, "db", None), "engine", None)
+        return engine
+
+    # ------------------------------------------------------------------ #
     def invalidate(self) -> None:
         """Purge caches for this source (connection close/refresh, 3.2).
 

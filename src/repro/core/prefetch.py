@@ -19,6 +19,7 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from .. import obs
 from ..queries.spec import CategoricalFilter, QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
@@ -59,7 +60,22 @@ class InteractionPrefetcher:
         specs = self.predict(session, zone_name, tuple(selected))
         self.stats.predictions += len(specs)
         if not specs:
+            obs.event(
+                "prefetch",
+                "skipped",
+                f"no candidate next interactions predicted for zone {zone_name!r}",
+                zone=zone_name,
+            )
             return 0
+        obs.event(
+            "prefetch",
+            "predicted",
+            f"selection in zone {zone_name!r}: warming {len(specs)} hypothetical "
+            f"spec(s) for the likeliest next clicks"
+            + (" (background)" if self.background else ""),
+            zone=zone_name,
+            specs=len(specs),
+        )
         if self.background:
             thread = threading.Thread(
                 target=self._warm, args=(session, specs), daemon=True

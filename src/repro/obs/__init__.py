@@ -1,4 +1,5 @@
-"""repro.obs — the Performance Recorder substrate (tracing + metrics).
+"""repro.obs — the Performance Recorder substrate (tracing + metrics +
+decision events).
 
 Tableau answers "why was this dashboard slow?" with its Performance
 Recorder: a timeline of compile / cache / query / render events. This
@@ -8,12 +9,17 @@ package is our equivalent, shared by every layer of the stack:
   (virtual-time capable) clock;
 * :mod:`repro.obs.metrics` — counters, gauges, latency histograms
   (p50/p95/p99);
-* :mod:`repro.obs.recording` — the exporter: text timeline + JSON.
+* :mod:`repro.obs.events` — the bounded decision-event log: *why* the
+  caches hit or missed, what was evicted and for what score, what fused;
+* :mod:`repro.obs.recording` — the exporter: text timeline + JSON;
+* :mod:`repro.obs.explain` — EXPLAIN/ANALYZE rendering for TDE physical
+  plans (imported lazily; it depends on the TDE layer).
 
 Observability is **off by default** and free when off: the module-level
-:func:`span`, :func:`counter`, :func:`gauge` and :func:`histogram`
-helpers dispatch to shared null singletons until :func:`enable` (or the
-:func:`recording` context manager) installs live instances.
+:func:`span`, :func:`counter`, :func:`gauge`, :func:`histogram` and
+:func:`event` helpers dispatch to shared null singletons until
+:func:`enable` (or the :func:`recording` context manager) installs live
+instances.
 
 Typical benchmark usage::
 
@@ -21,7 +27,8 @@ Typical benchmark usage::
 
     with obs.recording() as rec:
         pipeline.run_batch(specs)
-    print(rec.render())          # the timeline
+    print(rec.render())          # the timeline + decision log
+    rec.events("cache")          # typed queries over the decisions
     rec.to_json()                # machine-readable, for BENCH_*.json
 """
 
@@ -30,6 +37,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
+from .events import NULL_EVENTS, DecisionEvent, EventLog, NullEventLog
 from .metrics import (
     NULL_METRICS,
     Counter,
@@ -43,9 +51,12 @@ from .trace import NULL_TRACER, NullTracer, Span, Tracer, VirtualClock
 
 __all__ = [
     "Counter",
+    "DecisionEvent",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullEventLog",
     "NullMetricsRegistry",
     "NullTracer",
     "PerformanceRecording",
@@ -59,11 +70,15 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "event",
+    "events_enabled",
     "gauge",
+    "get_events",
     "get_metrics",
     "get_tracer",
     "histogram",
     "recording",
+    "set_events",
     "set_metrics",
     "set_tracer",
     "span",
@@ -71,6 +86,7 @@ __all__ = [
 
 _tracer: Tracer | NullTracer = NULL_TRACER
 _metrics: MetricsRegistry | NullMetricsRegistry = NULL_METRICS
+_events: EventLog | NullEventLog = NULL_EVENTS
 
 
 # ---------------------------------------------------------------------- #
@@ -84,9 +100,22 @@ def get_metrics() -> MetricsRegistry | NullMetricsRegistry:
     return _metrics
 
 
+def get_events() -> EventLog | NullEventLog:
+    return _events
+
+
 def enabled() -> bool:
     """True when a live tracer is installed."""
     return _tracer.enabled
+
+
+def events_enabled() -> bool:
+    """True when a live event log is installed.
+
+    Call sites whose *reason* computation is not free (e.g. re-proving a
+    failed subsumption to name the failing condition) guard it with this.
+    """
+    return _events.enabled
 
 
 def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
@@ -105,19 +134,39 @@ def set_metrics(
     return previous
 
 
+def set_events(events: EventLog | NullEventLog) -> EventLog | NullEventLog:
+    """Install ``events`` globally; returns the previous log."""
+    global _events
+    previous, _events = _events, events
+    return previous
+
+
 def enable(clock: Callable[[], float] | None = None) -> PerformanceRecording:
     """Turn observability on; returns the recording being captured."""
     tracer = Tracer(clock=clock)
     metrics = MetricsRegistry()
+    events = EventLog(clock=clock)
     set_tracer(tracer)
     set_metrics(metrics)
-    return PerformanceRecording(tracer, metrics)
+    set_events(events)
+    return PerformanceRecording(tracer, metrics, events)
 
 
 def disable() -> None:
-    """Restore the free no-op instrumentation."""
-    set_tracer(NULL_TRACER)
-    set_metrics(NULL_METRICS)
+    """Restore the free no-op instrumentation and clear live state.
+
+    Symmetric to :func:`enable`: the outgoing live tracer, registry and
+    event log are *reset* before the null singletons are reinstalled, so
+    obs state cannot leak between tests (or between recordings taken
+    without the :func:`recording` context manager). Recordings whose data
+    must outlive ``disable()`` should snapshot (``to_dict()``) first.
+    """
+    previous_tracer = set_tracer(NULL_TRACER)
+    previous_metrics = set_metrics(NULL_METRICS)
+    previous_events = set_events(NULL_EVENTS)
+    previous_tracer.reset()
+    previous_metrics.reset()
+    previous_events.reset()
 
 
 @contextmanager
@@ -127,19 +176,21 @@ def recording(
     """Enable observability for a block, restoring prior state after.
 
     Yields the :class:`PerformanceRecording`, which stays readable after
-    the block exits (the tracer/registry it references are kept alive).
+    the block exits (the tracer/registry/events it references are kept
+    alive).
     """
-    previous_tracer, previous_metrics = _tracer, _metrics
+    previous_tracer, previous_metrics, previous_events = _tracer, _metrics, _events
     rec = enable(clock)
     try:
         yield rec
     finally:
         set_tracer(previous_tracer)
         set_metrics(previous_metrics)
+        set_events(previous_events)
 
 
 # ---------------------------------------------------------------------- #
-# Hot-path helpers (dispatch to the installed tracer/registry)
+# Hot-path helpers (dispatch to the installed tracer/registry/log)
 # ---------------------------------------------------------------------- #
 def span(name: str, **attributes: Any):
     """Open a span under the current one (no-op context when disabled)."""
@@ -166,3 +217,8 @@ def gauge(name: str):
 
 def histogram(name: str):
     return _metrics.histogram(name)
+
+
+def event(kind: str, outcome: str, reason: str, **attributes: Any) -> None:
+    """Record one decision event (no-op when observability is off)."""
+    _events.emit(kind, outcome, reason, **attributes)

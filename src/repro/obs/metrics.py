@@ -103,19 +103,51 @@ class Histogram:
             return sum(self.values) / len(self.values) if self.values else 0.0
 
     def percentile(self, p: float) -> float | None:
-        """The p-th percentile (0..100), or None for an empty histogram."""
+        """The p-th percentile (0..100), or None for an empty histogram.
+
+        Edge cases are exact, never interpolated: an empty histogram has
+        no percentiles (``None``), a single-sample histogram returns that
+        sample for every ``p`` (the rank formula degenerates to index 0,
+        so no linear interpolation between phantom neighbours happens).
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         with self._lock:
             values = sorted(self.values)
         if not values:
             return None
+        if len(values) == 1:
+            return values[0]
         rank = (p / 100.0) * (len(values) - 1)
         lo = math.floor(rank)
         hi = math.ceil(rank)
         if lo == hi:
             return values[lo]
         return values[lo] + (rank - lo) * (values[hi] - values[lo])
+
+    def merge(self, other: "Histogram | _NullHistogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram.
+
+        Combining per-thread histograms (each executor worker observing
+        into its own instrument, merged at snapshot time) is the standard
+        way to keep hot-path contention off a shared lock. Returns
+        ``self`` for chaining; ``other`` is left untouched, and merging a
+        null histogram is a no-op.
+        """
+        other_values = getattr(other, "values", None)
+        if not other_values:
+            return self
+        # Snapshot under the source lock, extend under ours; never hold
+        # both at once (no lock-ordering deadlock between two merges).
+        other_lock = getattr(other, "_lock", None)
+        if other_lock is not None:
+            with other_lock:
+                incoming = list(other_values)
+        else:
+            incoming = list(other_values)
+        with self._lock:
+            self.values.extend(incoming)
+        return self
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
@@ -233,6 +265,9 @@ class _NullHistogram:
 
     def percentile(self, p: float) -> None:
         return None
+
+    def merge(self, other) -> "_NullHistogram":
+        return self
 
     def snapshot(self) -> dict[str, Any]:
         return {"type": "histogram", "count": 0}

@@ -1,12 +1,14 @@
 """PerformanceRecording: export a trace as a timeline and as JSON.
 
 The analogue of Tableau's Performance Recorder view: given a
-:class:`~repro.obs.trace.Tracer` and a
-:class:`~repro.obs.metrics.MetricsRegistry`, this renders the recorded
-span trees as an indented text timeline (offsets + durations + key
-attributes) and dumps the whole recording — spans, per-phase summaries,
-metric snapshots — as JSON for the benchmark harness's ``BENCH_*.json``
-artifacts.
+:class:`~repro.obs.trace.Tracer`, a
+:class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.events.EventLog`, this renders the recorded span
+trees as an indented text timeline (offsets + durations + key
+attributes), appends the decision-event log (the *why* behind the
+timeline), and dumps the whole recording — spans, per-phase summaries,
+metric snapshots, decision events — as JSON for the benchmark harness's
+``BENCH_*.json`` artifacts.
 """
 
 from __future__ import annotations
@@ -14,11 +16,13 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from .events import DecisionEvent, EventLog, NullEventLog
 from .metrics import MetricsRegistry, NullMetricsRegistry
 from .trace import NullTracer, Span, Tracer
 
 #: Bump when the JSON layout changes; BENCH_*.json embeds it.
-SCHEMA_VERSION = 1
+#: v2: adds the ``events`` section (decision-event log).
+SCHEMA_VERSION = 2
 
 
 class PerformanceRecording:
@@ -28,9 +32,11 @@ class PerformanceRecording:
         self,
         tracer: Tracer | NullTracer,
         metrics: MetricsRegistry | NullMetricsRegistry | None = None,
+        events: EventLog | NullEventLog | None = None,
     ):
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else NullMetricsRegistry()
+        self.event_log = events if events is not None else NullEventLog()
 
     # ------------------------------------------------------------------ #
     @property
@@ -47,6 +53,17 @@ class PerformanceRecording:
 
     def find_all(self, name: str) -> list[Span]:
         return [s for root in self.tracer.roots for s in root.find_all(name)]
+
+    def events(
+        self, kind: str | None = None, *, outcome: str | None = None
+    ) -> list[DecisionEvent]:
+        """Decision events, optionally filtered by kind (prefix) / outcome.
+
+        This is how a recording answers "why": e.g.
+        ``rec.events("cache.subsumption", outcome="reject")`` lists every
+        rejected subsumption attempt with its human-readable reason.
+        """
+        return self.event_log.events(kind, outcome=outcome)
 
     # ------------------------------------------------------------------ #
     def phase_summary(self) -> dict[str, dict[str, float]]:
@@ -84,6 +101,14 @@ class PerformanceRecording:
             lines.append("-- metrics --")
             for name, snap in metrics.items():
                 lines.append(f"{name}: {_fmt_metric(snap)}")
+        events = self.event_log.events()
+        if events:
+            lines.append("-- decision events --")
+            for ev in events:
+                offset_ms = (ev.t_s - origin) * 1000 if roots else 0.0
+                lines.append(f"[+{offset_ms:9.3f}ms] {ev}")
+            if self.event_log.dropped:
+                lines.append(f"({self.event_log.dropped} earlier events rotated out)")
         return "\n".join(lines)
 
     def _render_span(
@@ -115,6 +140,8 @@ class PerformanceRecording:
             "spans": [root.to_dict() for root in self.tracer.roots],
             "phases": self.phase_summary(),
             "metrics": self.metrics.snapshot(),
+            "events": self.event_log.to_list(),
+            "event_counts": self.event_log.kinds(),
         }
 
     def to_json(self, *, indent: int = 2) -> str:

@@ -146,6 +146,35 @@ class VizServer:
         return node.node_id, result
 
     # ------------------------------------------------------------------ #
+    def explain(
+        self, user: str, dashboard_name: str, *, analyze: bool = False
+    ) -> dict:
+        """Per-request plans for a dashboard in its current session state.
+
+        Routes like a real request, computes every queryable zone's
+        effective spec (selections applied), and returns the serving
+        pipeline's :meth:`~repro.core.pipeline.QueryPipeline.explain_batch`
+        report keyed by zone name — which zones would be cache hits, which
+        would be derived batch-locally, which go remote (and fused with
+        what), plus the backend engine's EXPLAIN of each remote plan.
+        """
+        node = self._route()
+        session = self._session(user, dashboard_name, node)
+        zones = session.dashboard.queryable_zones()
+        zone_specs = [(zone.name, session.effective_spec(zone)) for zone in zones]
+        reports = node.pipeline.explain_batch(
+            [spec for _name, spec in zone_specs], analyze=analyze
+        )
+        by_canonical = {report["spec"]: report for report in reports}
+        return {
+            "node": node.node_id,
+            "dashboard": dashboard_name,
+            "zones": {
+                name: by_canonical[spec.canonical()] for name, spec in zone_specs
+            },
+        }
+
+    # ------------------------------------------------------------------ #
     def cache_summary(self) -> dict:
         return {
             "store_entries": len(self.store),

@@ -155,10 +155,26 @@ class DataEngine:
         physical = plan_query(logical, self.catalog, naive_options, rewrite=False)
         return execute_to_table(physical, ExecContext(batch_size=self.batch_size, parallel=False))
 
-    def explain(self, query: str | LogicalPlan, *, options: PlannerOptions | None = None) -> str:
-        """Human-readable physical plan (one operator per line)."""
-        physical = self.plan(query, options=options)
-        return render_plan(physical)
+    def explain(
+        self,
+        query: str | LogicalPlan,
+        *,
+        analyze: bool = False,
+        options: PlannerOptions | None = None,
+    ) -> str:
+        """EXPLAIN: the physical plan plus optimizer provenance.
+
+        Returns an :class:`~repro.obs.explain.ExplainResult` — a ``str``
+        (one operator per line, pre-order numbered, with estimated rows
+        and the rewrite/culling/parallelization decisions that shaped the
+        plan) that also carries the structured form via ``.to_dict()``.
+        With ``analyze=True`` the plan is executed once and every
+        operator is annotated with actual rows, batches and inclusive
+        wall time.
+        """
+        from ..obs.explain import explain_query
+
+        return explain_query(self, query, analyze=analyze, options=options)
 
     def rewrite(self, query: str | LogicalPlan) -> LogicalPlan:
         """Expose the logical rewrite pipeline (for tests and tools)."""

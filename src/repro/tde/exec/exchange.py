@@ -217,7 +217,18 @@ class SharedBuild(PhysNode):
     def get(self, ctx: ExecContext) -> Table:
         with self._lock:
             if self._table is None:
-                self._table = execute_to_table(self.child, ctx)
+                recorder = ctx.recorder
+                if recorder is not None:
+                    started = recorder.clock()
+                    self._table = execute_to_table(self.child, ctx)
+                    recorder.record_node(
+                        self,
+                        type(self).__name__,
+                        self._table.n_rows,
+                        recorder.clock() - started,
+                    )
+                else:
+                    self._table = execute_to_table(self.child, ctx)
             return self._table
 
     def _execute(self, ctx: ExecContext) -> Iterator[Table]:

@@ -59,37 +59,69 @@ class OpRecorder:
     includes its children, mirroring how profilers report Volcano trees.
     Attached to an :class:`ExecContext` only while observability is
     enabled, so the default path pays nothing.
+
+    With ``per_node=True`` (EXPLAIN ANALYZE) the recorder additionally
+    keeps one accumulator per operator *instance*, keyed by object
+    identity; :meth:`node_stats` hands the map to the explain renderer,
+    which translates identities into stable plan positions.
     """
 
-    def __init__(self, clock=time.perf_counter):
+    def __init__(self, clock=time.perf_counter, *, per_node: bool = False):
         self.clock = clock
+        self.per_node = per_node
         self._lock = threading.Lock()
         self._ops: dict[str, list[float]] = {}  # name -> [rows, seconds, batches]
+        self._nodes: dict[int, list[float]] = {}  # id(node) -> same shape
 
-    def iterate(self, name: str, batches: Iterator[Table]) -> Iterator[Table]:
+    def iterate(
+        self, name: str, batches: Iterator[Table], node: "PhysNode | None" = None
+    ) -> Iterator[Table]:
         clock = self.clock
+        key = id(node) if (self.per_node and node is not None) else None
         while True:
             started = clock()
             try:
                 batch = next(batches)
             except StopIteration:
-                self._add(name, 0, clock() - started, 0)
+                self._add(name, 0, clock() - started, 0, key)
                 return
-            self._add(name, batch.n_rows, clock() - started, 1)
+            self._add(name, batch.n_rows, clock() - started, 1, key)
             yield batch
 
-    def _add(self, name: str, rows: int, seconds: float, batches: int) -> None:
+    def record_node(
+        self, node: "PhysNode", name: str, rows: int, seconds: float, batches: int = 1
+    ) -> None:
+        """Record one already-measured execution (non-iterator operators)."""
+        key = id(node) if self.per_node else None
+        self._add(name, rows, seconds, batches, key)
+
+    def _add(
+        self, name: str, rows: int, seconds: float, batches: int, key: int | None = None
+    ) -> None:
         with self._lock:
             acc = self._ops.setdefault(name, [0, 0.0, 0])
             acc[0] += rows
             acc[1] += seconds
             acc[2] += batches
+            if key is not None:
+                acc = self._nodes.setdefault(key, [0, 0.0, 0])
+                acc[0] += rows
+                acc[1] += seconds
+                acc[2] += batches
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         with self._lock:
             return {
                 name: {"rows": acc[0], "seconds": acc[1], "batches": acc[2]}
                 for name, acc in sorted(self._ops.items())
+            }
+
+    def node_stats(self) -> dict[int, dict[str, float]]:
+        """Per-instance stats keyed by ``id(node)`` (``per_node`` only)."""
+        with self._lock:
+            return {
+                key: {"rows": acc[0], "seconds": acc[1], "batches": acc[2]}
+                for key, acc in self._nodes.items()
             }
 
 
@@ -114,7 +146,7 @@ class PhysNode:
         """Yield batches, routed through the context's recorder if any."""
         if ctx.recorder is None:
             return self._execute(ctx)
-        return ctx.recorder.iterate(type(self).__name__, self._execute(ctx))
+        return ctx.recorder.iterate(type(self).__name__, self._execute(ctx), node=self)
 
     def _execute(self, ctx: ExecContext) -> Iterator[Table]:  # pragma: no cover
         raise NotImplementedError

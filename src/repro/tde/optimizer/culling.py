@@ -31,6 +31,7 @@ from ..tql.plan import (
     TopN,
     Window,
 )
+from . import provenance
 from .catalog import StorageCatalog
 
 
@@ -93,27 +94,58 @@ def _try_dimension_removal(
     join: Join, needed: set[str] | None, catalog: StorageCatalog
 ) -> LogicalPlan | None:
     """Drop an inner join whose right side contributes nothing."""
+    rule = "culling.dimension_removal"
     if needed is None or join.kind != "inner":
+        if needed is not None:
+            provenance.note(rule, False, f"{join.kind} join: only inner joins are removable")
         return None
     if not isinstance(join.right, TableScan):
+        provenance.note(rule, False, "build side is not a base-table scan")
         return None
     right_table = join.right.table
     right_keys = tuple(r for _, r in join.conditions)
     right_out = set(catalog.schema_of(right_table)) - set(right_keys)
     if needed & right_out:
+        provenance.note(
+            rule,
+            False,
+            f"{right_table} columns {sorted(needed & right_out)} are referenced above the join",
+            table=right_table,
+        )
         return None
     if not catalog.meta(right_table).is_unique(right_keys):
+        provenance.note(
+            rule,
+            False,
+            f"{right_table}{list(right_keys)} is not declared unique",
+            table=right_table,
+        )
         return None
     fk = _find_fk(join.left, [l for l, _ in join.conditions], right_table, right_keys, catalog)
     if fk is None or not fk.total:
+        provenance.note(
+            rule,
+            False,
+            f"no total foreign key onto {right_table}{list(right_keys)}"
+            if fk is None
+            else f"foreign key to {right_table} admits orphans (not total)",
+            table=right_table,
+        )
         return None
+    provenance.note(
+        rule,
+        True,
+        f"dropped join to {right_table}: no columns needed, key unique, FK total",
+        table=right_table,
+    )
     return join.left
 
 
 def _try_fact_culling(agg: Aggregate, catalog: StorageCatalog) -> LogicalPlan | None:
     """Answer a domain query from the dimension table alone."""
+    rule = "culling.fact_culling"
     if agg.aggs:
-        return None
+        return None  # not a domain query; too common to note
     child = agg.child
     pre_filter = None
     if isinstance(child, Select):
@@ -122,21 +154,52 @@ def _try_fact_culling(agg: Aggregate, catalog: StorageCatalog) -> LogicalPlan | 
     if not isinstance(child, Join) or child.kind != "inner":
         return None
     if not isinstance(child.right, TableScan) or not isinstance(child.left, TableScan):
+        provenance.note(rule, False, "join sides are not both base-table scans")
         return None
     right_table = child.right.table
     right_keys = tuple(r for _, r in child.conditions)
     right_cols = set(catalog.schema_of(right_table))
     if not set(agg.groupby) <= (right_cols - set(right_keys)):
+        provenance.note(
+            rule,
+            False,
+            f"group-by columns are not all non-key columns of {right_table}",
+            table=right_table,
+        )
         return None
     if pre_filter is not None and not columns_used(pre_filter) <= (right_cols - set(right_keys)):
+        provenance.note(
+            rule, False, "filter references fact-side columns", table=right_table
+        )
         return None
     if not catalog.meta(right_table).is_unique(right_keys):
+        provenance.note(
+            rule,
+            False,
+            f"{right_table}{list(right_keys)} is not declared unique",
+            table=right_table,
+        )
         return None
     fk = catalog.foreign_key(
         child.left.table, tuple(l for l, _ in child.conditions), right_table, right_keys
     )
     if fk is None or not fk.onto or not fk.total:
+        provenance.note(
+            rule,
+            False,
+            "foreign key is missing or not declared total+onto "
+            "(every dimension key must occur in the fact table)",
+            table=right_table,
+        )
         return None
+    provenance.note(
+        rule,
+        True,
+        f"domain query answered from {right_table} alone (fact table "
+        f"{child.left.table} culled)",
+        table=right_table,
+        fact=child.left.table,
+    )
     base: LogicalPlan = child.right
     if pre_filter is not None:
         base = Select(base, pre_filter)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from ...expr.ast import Expr, columns_used, conjoin
 from ..storage.table import Table
 from ..storage.vectors import RleVector
+from . import provenance
 from .cost import estimate_selectivity
 
 #: Only use the IndexTable path below this estimated selectivity.
@@ -42,33 +43,64 @@ def choose_rle_scan(
     selects the most selective candidate. Remaining conjuncts become the
     residual filter applied to the scanned ranges.
     """
+    rule = "decompression.rle_index"
+    explain = provenance.active()
     by_column: dict[str, list[Expr]] = {}
     for conj in conjuncts:
         used = columns_used(conj)
         if len(used) == 1:
             by_column.setdefault(next(iter(used)), []).append(conj)
     best: tuple[float, str, Expr] | None = None
-    for name, parts in by_column.items():
+    for name in sorted(by_column):
+        parts = by_column[name]
         if not table.has_column(name):
             continue
         col = table.column(name)
         if not isinstance(col.physical, RleVector):
+            if explain:
+                provenance.note(
+                    rule, False, f"column {name} is not run-length encoded", column=name
+                )
             continue
         n_rows = max(len(col), 1)
         avg_run = n_rows / max(col.physical.n_runs, 1)
         if avg_run < RLE_MIN_AVG_RUN_LENGTH:
+            if explain:
+                provenance.note(
+                    rule,
+                    False,
+                    f"column {name}: average run length {avg_run:.1f} below "
+                    f"{RLE_MIN_AVG_RUN_LENGTH:.0f} — range skipping would not pay off",
+                    column=name,
+                )
             continue
         predicate = conjoin(parts)
         sel = _exact_run_selectivity(col, predicate)
         if sel is None:
             sel = estimate_selectivity(predicate)
         if sel >= selectivity_threshold:
+            if explain:
+                provenance.note(
+                    rule,
+                    False,
+                    f"column {name}: selectivity {sel:.2f} >= threshold "
+                    f"{selectivity_threshold:.2f} — a full scan reads less per row",
+                    column=name,
+                )
             continue
         if best is None or sel < best[0]:
             best = (sel, name, predicate)
     if best is None:
         return None
-    _sel, column, predicate = best
+    sel, column, predicate = best
+    if explain:
+        provenance.note(
+            rule,
+            True,
+            f"filter on {column} served through the IndexTable "
+            f"(selectivity {sel:.2f} < {selectivity_threshold:.2f}, long runs)",
+            column=column,
+        )
     residual_parts = [c for c in conjuncts if columns_used(c) != {column}]
     return column, predicate, conjoin(residual_parts)
 

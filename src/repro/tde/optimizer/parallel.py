@@ -69,10 +69,31 @@ class Fragments:
 
 def decide_dop(rows: int, row_cost_hint: float, options: PlannerOptions) -> int:
     """Choose how many fractions a scan should split into."""
+    from . import provenance
+
     if not options.enable_parallel or options.max_dop <= 1:
+        provenance.note(
+            "parallel.decide_dop", False, "parallelism disabled by planner options"
+        )
         return 1
     work = rows * max(1.0, 1.0 + row_cost_hint)
-    return max(1, min(options.max_dop, int(work // options.min_work_per_fraction)))
+    dop = max(1, min(options.max_dop, int(work // options.min_work_per_fraction)))
+    if provenance.active():
+        if dop > 1:
+            detail = (
+                f"split into {dop} fractions: {rows} rows x cost hint "
+                f"{row_cost_hint:.2f} = {work:.0f} work units "
+                f">= {options.min_work_per_fraction:.0f}/fraction"
+            )
+        else:
+            detail = (
+                f"serial scan: {work:.0f} work units under the "
+                f"{options.min_work_per_fraction:.0f}/fraction threshold"
+            )
+        provenance.note(
+            "parallel.decide_dop", dop > 1, detail, rows=rows, dop=dop
+        )
+    return dop
 
 
 def close_fragments(frags: Fragments, *, ordered: bool = False) -> PhysNode:

@@ -52,6 +52,7 @@ from ..tql.plan import (
     TopN,
     Window,
 )
+from . import provenance
 from .catalog import StorageCatalog
 from .cost import expr_cost
 from .decompression import choose_rle_scan
@@ -346,7 +347,17 @@ def _build_aggregate(
     streamable = options.enable_streaming_agg and grouping_satisfied_by_order(
         tuple(groupby), child_order
     )
+    rule = "parallel.aggregate_strategy"
+    mode = "streaming" if streamable else "hash"
+    if streamable and provenance.active():
+        provenance.note(
+            "parallel.streaming_agg",
+            True,
+            f"input already ordered on {list(child_order)[: len(groupby)]}: "
+            "groups arrive contiguously, aggregate streams without a table",
+        )
     if frags.degree == 1:
+        provenance.note(rule, False, f"serial input: single {mode} aggregate")
         op = PStreamAggregate if streamable else PHashAggregate
         return Fragments([op(frags.nodes[0], groupby, specs)])
     if (
@@ -356,12 +367,26 @@ def _build_aggregate(
     ):
         # Lemma 3: every group lives in exactly one fragment — aggregate
         # each fragment completely; no Exchange, no global phase.
+        provenance.note(
+            rule,
+            True,
+            f"range partition on group-by column {frags.range_partitioned_on!r} "
+            "(Lemma 3): each fragment aggregates completely, no global phase",
+            degree=frags.degree,
+        )
         op = PStreamAggregate if streamable else PHashAggregate
         nodes = [op(node, groupby, specs) for node in frags.nodes]
         return Fragments(nodes, frags.range_partitioned_on)
     if options.enable_local_global_agg:
         split = split_local_global(groupby, specs)
         if split is not None:
+            provenance.note(
+                rule,
+                True,
+                f"local/global split across {frags.degree} fragments: partial "
+                f"{mode} aggregates merged by a global hash aggregate",
+                degree=frags.degree,
+            )
             local_specs, global_specs, final_items, needs_final = split
             local_op = PStreamAggregate if streamable else PHashAggregate
             locals_ = [local_op(node, groupby, local_specs) for node in frags.nodes]
@@ -370,6 +395,13 @@ def _build_aggregate(
             if needs_final:
                 out = PProject(out, final_items)
             return Fragments([out])
+        provenance.note(
+            rule,
+            False,
+            "local/global split impossible (COUNT DISTINCT partials cannot "
+            "be merged): closing parallelism with an Exchange",
+            degree=frags.degree,
+        )
     merged = close_fragments(frags)
     return Fragments([PHashAggregate(merged, groupby, specs)])
 

@@ -278,24 +278,58 @@ _SCHEMA_HINTS: contextvars.ContextVar = contextvars.ContextVar("schema_hints", d
 # ---------------------------------------------------------------------- #
 # Top-level rewrite pipeline
 # ---------------------------------------------------------------------- #
+#: The rewrite pipeline stages, in application order. Each entry names
+#: the rule (for provenance) and the effect a change implies.
+_REWRITE_STAGES: tuple[tuple[str, str], ...] = (
+    ("distinct_to_aggregate", "DISTINCT expressed as GROUP BY"),
+    ("simplify_predicates", "predicates simplified / constant-folded"),
+    ("merge_selects", "stacked filters merged into one conjunction"),
+    ("pushdown_selects", "filters pushed toward the scans"),
+    ("simplify_predicates", "predicates simplified after pushdown"),
+    ("cull_joins", "unused-dimension / fact-table joins removed"),
+    ("merge_selects", "stacked filters merged after culling"),
+)
+
+
 def rewrite_logical(plan: LogicalPlan, catalog) -> LogicalPlan:
     """Run the full logical rewrite pipeline.
 
     ``catalog`` must provide ``schema_of`` (and, for join culling, the
     metadata methods of :class:`~repro.tde.optimizer.catalog.StorageCatalog`).
+
+    Each stage reports provenance (see :mod:`.provenance`): whether it
+    changed the plan, so EXPLAIN can list the rewrites that shaped it.
     """
+    from . import provenance
     from .culling import cull_joins
 
+    stages = {
+        "distinct_to_aggregate": distinct_to_aggregate,
+        "simplify_predicates": simplify_plan_predicates,
+        "merge_selects": merge_selects,
+        "pushdown_selects": pushdown_selects,
+        "cull_joins": (
+            (lambda p: cull_joins(p, catalog)) if hasattr(catalog, "meta") else None
+        ),
+    }
     token = _SCHEMA_HINTS.set(catalog)
     try:
-        plan = distinct_to_aggregate(plan)
-        plan = simplify_plan_predicates(plan)
-        plan = merge_selects(plan)
-        plan = pushdown_selects(plan)
-        plan = simplify_plan_predicates(plan)
-        if hasattr(catalog, "meta"):
-            plan = cull_joins(plan, catalog)
-        plan = merge_selects(plan)
+        for rule, effect in _REWRITE_STAGES:
+            fn = stages[rule]
+            if fn is None:
+                provenance.note(
+                    f"rewrite.{rule}", False, "catalog exposes no table metadata"
+                )
+                continue
+            rewritten = fn(plan)
+            if provenance.active():
+                changed = rewritten != plan
+                provenance.note(
+                    f"rewrite.{rule}",
+                    changed,
+                    effect if changed else "plan already in target form",
+                )
+            plan = rewritten
         return plan
     finally:
         _SCHEMA_HINTS.reset(token)

@@ -1,0 +1,224 @@
+"""Decision events from caches, eviction, fusion, prefetch, and the pool.
+
+The event contract matters more than the prose: each emitter must name
+its decision (kind + outcome) and carry the inputs the paper says drive
+it — most precisely for eviction, where the victim's age, usage, and
+re-evaluation cost (and their combined retention score) must appear on
+the event, and the chosen victim must follow the documented ordering
+(expired entries first, then lowest retention score).
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.connectors import ConnectionPool
+from repro.core.cache.eviction import CacheEntry, EvictionPolicy
+from repro.core.cache.intelligent import IntelligentCache, explain_mismatch
+from repro.core.cache.literal import LiteralCache
+from repro.core.fusion import fuse_batch
+from repro.core.pipeline import QueryPipeline
+from repro.queries import CategoricalFilter, QuerySpec
+from repro.tde.storage import Table
+
+from .conftest import AVG_DELAY, COUNT, make_model, make_source
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    yield
+    obs.disable()
+
+
+def _table(rows: int = 4) -> Table:
+    return Table.from_pydict({"x": list(range(rows))})
+
+
+def _entry(key: str, *, uses: int, cost_s: float, idle_s: float) -> CacheEntry:
+    now = time.monotonic()
+    entry = CacheEntry(key, "db", _table(), 64, cost_s)
+    entry.uses = uses
+    entry.last_used = now - idle_s
+    return entry
+
+
+class TestEvictionEvents:
+    def test_event_carries_victim_scores(self):
+        policy = EvictionPolicy(max_entries=2)
+        entries = {
+            e.key: e
+            for e in [
+                _entry("keep-hot", uses=50, cost_s=2.0, idle_s=0.1),
+                _entry("keep-costly", uses=5, cost_s=5.0, idle_s=1.0),
+                _entry("victim", uses=0, cost_s=0.01, idle_s=60.0),
+            ]
+        }
+        with obs.recording() as rec:
+            evicted = policy.purge(entries)
+        assert evicted == ["victim"]
+        events = rec.events("cache.eviction")
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.outcome == "evicted"
+        assert ev.attributes["key"] == "victim"
+        # The three documented retention inputs, plus the combined score.
+        assert ev.attributes["age_s"] == pytest.approx(60.0, abs=1.0)
+        assert ev.attributes["uses"] == 0
+        assert ev.attributes["cost_s"] == 0.01
+        assert ev.attributes["score"] == pytest.approx(
+            entries_score := (0.01 + 1e-3) * 1 / (1 + ev.attributes["age_s"]),
+            rel=1e-6,
+        ), entries_score
+        assert "retention score" in ev.reason
+        assert "capacity pressure" in ev.reason
+
+    def test_victim_matches_policy_ordering(self):
+        # Lowest retention_score loses first, regardless of insert order.
+        policy = EvictionPolicy(max_entries=3)
+        entries = {
+            e.key: e
+            for e in [
+                _entry("a", uses=1, cost_s=0.5, idle_s=5.0),
+                _entry("b", uses=9, cost_s=0.5, idle_s=5.0),
+                _entry("c", uses=1, cost_s=0.5, idle_s=50.0),
+                _entry("d", uses=1, cost_s=4.0, idle_s=5.0),
+            ]
+        }
+        now = time.monotonic()
+        expected_victim = min(entries.values(), key=lambda e: e.retention_score(now))
+        with obs.recording() as rec:
+            evicted = policy.purge(entries)
+        assert evicted == [expected_victim.key]
+        assert rec.events("cache.eviction")[0].attributes["key"] == expected_victim.key
+
+    def test_expired_entries_evict_first_with_reason(self):
+        policy = EvictionPolicy(max_age_s=10.0)
+        stale = _entry("stale", uses=100, cost_s=9.0, idle_s=0.0)
+        stale.created_at = time.monotonic() - 60.0
+        entries = {"stale": stale, "fresh": _entry("fresh", uses=0, cost_s=0.0, idle_s=0.0)}
+        with obs.recording() as rec:
+            evicted = policy.purge(entries)
+        # Expired beats score: "stale" has a far better score than "fresh".
+        assert evicted == ["stale"]
+        ev = rec.events("cache.eviction")[0]
+        assert "expired" in ev.reason
+        assert "max age" in ev.reason
+
+    def test_no_events_when_disabled(self):
+        policy = EvictionPolicy(max_entries=1)
+        entries = {
+            e.key: e
+            for e in [
+                _entry("x", uses=0, cost_s=0.0, idle_s=1.0),
+                _entry("y", uses=0, cost_s=0.0, idle_s=2.0),
+            ]
+        }
+        policy.purge(entries)  # obs off: must not raise, must still purge
+        assert len(entries) == 1
+
+
+def _spec(markets=(0, 1, 2), dims=("name",), measures=None):
+    return QuerySpec(
+        "faa",
+        dimensions=dims,
+        measures=(("n", COUNT), ("a", AVG_DELAY)) if measures is None else measures,
+        filters=(CategoricalFilter("market_id", markets),),
+    )
+
+
+class TestSubsumptionEvents:
+    def test_accept_and_reject_reasons_in_recording(self):
+        pipeline = QueryPipeline(make_source(), make_model())
+        with obs.recording() as rec:
+            pipeline.run_batch([_spec()])  # cold: rejected, no entries
+            pipeline.run_batch([_spec(markets=(0, 2))])  # narrower: accepted
+        rejects = rec.events("cache.subsumption", outcome="rejected")
+        accepts = rec.events("cache.subsumption", outcome="accepted")
+        assert rejects and accepts
+        assert "no cached entries" in rejects[0].reason
+        assert "proven to subsume" in accepts[-1].reason
+        assert "post-processing" in accepts[-1].reason or "deriving via" in accepts[-1].reason
+
+    def test_reject_names_failing_candidate_condition(self):
+        cache = IntelligentCache()
+        provider = _spec(markets=(0, 1))
+        cache.put(provider, _table(), cost_s=0.1)
+        wider = _spec(markets=(0, 1, 2, 3))
+        with obs.recording() as rec:
+            assert cache.lookup(wider) is None
+        ev = rec.events("cache.subsumption", outcome="rejected")[0]
+        assert ev.attributes["candidates"] == 1
+        assert "not provably a subset" in ev.reason
+
+    def test_explain_mismatch_is_specific(self):
+        a = _spec(dims=("name", "market_id"))
+        b = _spec(dims=("name",))
+        # b's grain lacks market_id, so it cannot answer a.
+        assert "absent from the cached grain" in explain_mismatch(b, a)
+
+
+class TestLiteralCacheEvents:
+    def test_hit_and_miss(self):
+        cache = LiteralCache()
+        with obs.recording() as rec:
+            assert cache.get("q-text") is None
+            cache.put("q-text", "db", _table())
+            assert cache.get("q-text") is not None
+        assert [e.outcome for e in rec.events("cache.literal")] == ["miss", "hit"]
+
+
+class TestFusionEvents:
+    def test_fused_and_not_fused(self):
+        fusable = [
+            _spec(measures=(("n", COUNT),)),
+            _spec(measures=(("a", AVG_DELAY),)),
+        ]
+        loner = _spec(markets=(5,))
+        with obs.recording() as rec:
+            fuse_batch(fusable + [loner])
+        fused = rec.events("fusion", outcome="fused")
+        declined = rec.events("fusion", outcome="not_fused")
+        assert len(fused) == 1 and len(declined) == 1
+        assert "2 queries over the same relation" in fused[0].reason
+        assert "shares this query's relation" in declined[0].reason
+
+
+class TestPoolEvents:
+    def test_open_reuse_evict(self):
+        pool = ConnectionPool(make_source(), max_connections=2, idle_ttl_s=0.0)
+        with obs.recording() as rec:
+            with pool.connection():
+                pass
+            with pool.connection():
+                pass
+            pool.evict_idle()
+        outcomes = [e.outcome for e in rec.events("pool")]
+        assert outcomes == ["opened", "reused", "evicted"]
+        opened, reused, evicted = rec.events("pool")
+        assert "opened a new one (1/2)" in opened.reason
+        assert "reused an idle connection" in reused.reason
+        assert "release remote resources" in evicted.reason
+
+
+class TestPrefetchEvents:
+    def test_skipped_when_nothing_to_predict(self):
+        from repro.core.prefetch import InteractionPrefetcher
+
+        class _Session:  # minimal duck-typed session with no actions
+            class dashboard:
+                zones: dict = {}
+
+                @staticmethod
+                def actions_from(_name):
+                    return []
+
+            zone_tables: dict = {}
+            selections: dict = {}
+
+        prefetcher = InteractionPrefetcher(background=False)
+        with obs.recording() as rec:
+            assert prefetcher.observe(_Session(), "map", ("east",)) == 0
+        ev = rec.events("prefetch")[0]
+        assert ev.outcome == "skipped"
+        assert "no candidate next interactions" in ev.reason

@@ -1,0 +1,89 @@
+"""Per-request EXPLAIN surfacing: pipeline.explain_batch, VizServer.explain."""
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import QueryPipeline
+from repro.queries import CategoricalFilter, QuerySpec
+
+from .conftest import AVG_DELAY, COUNT, SUM_DELAY, make_model, make_source
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    yield
+    obs.disable()
+
+
+def _spec(measures, markets=(0, 1, 2)):
+    return QuerySpec(
+        "faa",
+        dimensions=("name",),
+        measures=measures,
+        filters=(CategoricalFilter("market_id", markets),),
+    )
+
+
+class TestExplainBatch:
+    def test_cold_batch_reports_fusion_and_plans(self):
+        pipeline = QueryPipeline(make_source(), make_model())
+        reports = pipeline.explain_batch(
+            [
+                _spec((("n", COUNT),)),
+                _spec((("s", SUM_DELAY),)),
+                _spec((("n", COUNT),), markets=(4,)),  # different relation
+            ]
+        )
+        assert len(reports) == 3
+        decisions = [r["decision"] for r in reports]
+        assert decisions[2] == "sent remote"
+        assert all("fused into" in d for d in decisions[:2])
+        assert reports[0].get("post_ops") == ["LocalProject"]
+        for report in reports:
+            assert report["language"] == "sql"
+            assert report["text"]  # the generated SQL
+            assert "== physical plan ==" in report["plan"]
+            assert "== optimizer provenance ==" in report["plan"]
+
+    def test_cached_spec_reports_cache_decision(self):
+        pipeline = QueryPipeline(make_source(), make_model())
+        spec = _spec((("n", COUNT), ("a", AVG_DELAY)))
+        pipeline.run_batch([spec])
+        report = pipeline.explain_batch([spec])[0]
+        assert "cache" in report["decision"]
+        assert report.get("plan") is None  # nothing would run remotely
+
+    def test_analyze_includes_actuals(self):
+        pipeline = QueryPipeline(make_source(), make_model())
+        report = pipeline.explain_batch([_spec((("n", COUNT),))], analyze=True)[0]
+        assert "actual=" in report["plan"]
+
+
+class TestVizServerExplain:
+    def test_per_zone_reports(self):
+        from repro.connectors import SimDbDataSource
+        from repro.connectors.simdb import ServerProfile
+        from repro.core.cache.distributed import KeyValueStore
+        from repro.server import VizServer
+        from repro.workloads import fig2_dashboard, flights_model, generate_flights
+
+        data = generate_flights(2000, seed=23)
+        db = data.load_into_simdb(ServerProfile(time_scale=0))
+        server = VizServer(
+            1,
+            SimDbDataSource(db),
+            flights_model(),
+            store=KeyValueStore(latency_s=0.0),
+        )
+        server.register_dashboard(fig2_dashboard())
+        server.load("alice", "market-carrier-airline")
+        result = server.explain("alice", "market-carrier-airline")
+        assert result["dashboard"] == "market-carrier-airline"
+        assert result["zones"]
+        for _zone, report in result["zones"].items():
+            assert report["decision"]
+            assert report["spec"].startswith("(query faa")
+        # The dashboard was just loaded, so the specs are warm.
+        assert any(
+            "cache" in report["decision"] for report in result["zones"].values()
+        )

@@ -1,0 +1,20 @@
+"""Obs test hygiene: never leak live instrumentation between tests.
+
+Every test in this package runs with a teardown that calls
+:func:`repro.obs.disable` — the symmetric counterpart of ``enable`` — so
+a test that enables observability (directly or via ``obs.recording``)
+and then fails mid-block cannot poison later tests with a live tracer,
+registry, or event log.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_after_each_test():
+    yield
+    obs.disable()
+    assert not obs.enabled()
+    assert not obs.events_enabled()

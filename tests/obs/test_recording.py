@@ -99,7 +99,7 @@ class TestBenchJsonSchema:
         assert series["columns"] == ["iteration", "ms"]
         assert series["rows"] == [[1, 12.5], [2, 0.8]]
         trace = payload["trace"]
-        assert set(trace) == {"phases", "metrics"}
+        assert set(trace) == {"phases", "metrics", "events", "event_counts"}
         assert trace["phases"]["executor.query"]["count"] == 2
         assert trace["metrics"]["cache.hits"] == {"type": "counter", "value": 3}
 

@@ -1,0 +1,134 @@
+"""The perf-regression gate: drift math, exit codes, self-test."""
+
+import json
+
+import pytest
+
+from benchmarks import perfgate
+
+
+def _bench(name, rows, columns=("path", "remote", "elapsed_ms")):
+    return {
+        "schema_version": 2,
+        "experiment": name,
+        "series": {"title": name, "columns": list(columns), "rows": rows},
+        "trace": None,
+    }
+
+
+def _write(directory, payload):
+    directory.mkdir(exist_ok=True)
+    path = directory / f"BENCH_{payload['experiment']}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    baselines = tmp_path / "_baselines"
+    results = tmp_path / "_results"
+    _write(baselines, _bench("e99_demo", [["cold", 1, 100.0], ["hit", 0, 1.0]]))
+    return results, baselines
+
+
+class TestCompare:
+    def test_within_tolerance_is_ok(self):
+        drifts = perfgate.compare(
+            "e", _bench("e", [["cold", 1, 100.0]]), _bench("e", [["cold", 1, 120.0]]), 0.5
+        )
+        by_metric = {d.metric: d for d in drifts}
+        assert by_metric["cold/elapsed_ms"].status == "ok"
+        assert by_metric["cold/remote"].status == "info"  # counts never gate
+
+    def test_over_tolerance_regresses(self):
+        drifts = perfgate.compare(
+            "e", _bench("e", [["cold", 1, 100.0]]), _bench("e", [["cold", 1, 200.0]]), 0.5
+        )
+        assert {d.status for d in drifts if d.metric == "cold/elapsed_ms"} == {"regression"}
+
+    def test_speedup_is_improved_not_failed(self):
+        drifts = perfgate.compare(
+            "e", _bench("e", [["cold", 1, 100.0]]), _bench("e", [["cold", 1, 10.0]]), 0.5
+        )
+        assert {d.status for d in drifts if d.metric == "cold/elapsed_ms"} == {"improved"}
+
+    def test_missing_metric_flagged(self):
+        drifts = perfgate.compare(
+            "e", _bench("e", [["cold", 1, 100.0]]), _bench("e", []), 0.5
+        )
+        assert {d.status for d in drifts} == {"missing"}
+
+    def test_tiny_baselines_do_not_gate(self):
+        drifts = perfgate.compare(
+            "e",
+            _bench("e", [["hit", 0, 0.001]]),
+            _bench("e", [["hit", 0, 1.0]]),  # 1000x but under the floor
+            0.5,
+        )
+        assert {d.status for d in drifts if d.metric == "hit/elapsed_ms"} == {"info"}
+
+
+class TestMain:
+    def test_clean_run_exits_zero(self, dirs, capsys):
+        results, baselines = dirs
+        _write(results, _bench("e99_demo", [["cold", 1, 100.0], ["hit", 0, 1.0]]))
+        code = perfgate.main(
+            ["--results", str(results), "--baselines", str(baselines)]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_synthetic_slowdown_exits_nonzero(self, dirs, capsys):
+        results, baselines = dirs
+        _write(results, _bench("e99_demo", [["cold", 1, 900.0], ["hit", 0, 9.0]]))
+        code = perfgate.main(
+            ["--results", str(results), "--baselines", str(baselines)]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_warn_only_exits_zero_on_regression(self, dirs, capsys):
+        results, baselines = dirs
+        _write(results, _bench("e99_demo", [["cold", 1, 900.0], ["hit", 0, 9.0]]))
+        code = perfgate.main(
+            ["--results", str(results), "--baselines", str(baselines), "--warn-only"]
+        )
+        assert code == 0
+        assert "warn-only" in capsys.readouterr().err
+
+    def test_missing_fresh_result_fails(self, dirs, capsys):
+        results, baselines = dirs
+        code = perfgate.main(
+            ["--results", str(results), "--baselines", str(baselines)]
+        )
+        assert code == 1
+
+    def test_update_blesses_baselines(self, tmp_path, capsys):
+        results = tmp_path / "_results"
+        baselines = tmp_path / "_baselines"
+        _write(results, _bench("e99_demo", [["cold", 1, 100.0]]))
+        assert perfgate.main(
+            ["--results", str(results), "--baselines", str(baselines), "--update"]
+        ) == 0
+        assert (baselines / "BENCH_e99_demo.json").exists()
+
+    def test_self_test_detects_blindness(self, dirs, capsys):
+        _results, baselines = dirs
+        code = perfgate.main(["--baselines", str(baselines), "--self-test"])
+        assert code == 0
+        assert "self-test ok" in capsys.readouterr().out
+
+    def test_committed_baselines_self_test(self):
+        # The repo's own committed baselines must keep the gate testable.
+        assert perfgate.BASELINES_DIR.exists()
+        assert perfgate.main(["--self-test", "--tolerance-profile", "ci"]) == 0
+
+
+class TestKeyMetric:
+    def test_largest_time_cell_wins(self):
+        payload = _bench("e", [["cold", 1, 100.0], ["hit", 0, 1.0]])
+        assert perfgate.key_metric(payload) == ("cold/elapsed_ms", 100.0)
+
+    def test_falls_back_to_first_numeric(self):
+        payload = _bench("e", [["interactions", 8]], columns=("metric", "value"))
+        assert perfgate.key_metric(payload) == ("interactions/value", 8.0)
