@@ -13,7 +13,7 @@ import time
 from typing import Any, Protocol
 
 from ..datatypes import LogicalType
-from ..errors import SourceError
+from ..errors import ConnectionDiedError, SourceError
 from ..sql.dialects import Capabilities
 from ..tde.engine import DataEngine
 from ..tde.storage.table import Table
@@ -54,12 +54,21 @@ class Connection:
         self.last_used = self.created_at
         self.queries_executed = 0
         self.is_open = True
+        #: Per-connector statement timeout, advertised by the source
+        #: (enforced at the driver layer; see repro.faults.injector).
+        self.timeout_s: float | None = getattr(data_source, "timeout_s", None)
         self._lock = threading.Lock()
 
     def execute(self, text: str) -> Table:
         if not self.is_open:
-            raise SourceError("connection is closed")
-        result = self.driver.execute(text)
+            raise ConnectionDiedError("connection is closed")
+        try:
+            result = self.driver.execute(text)
+        except ConnectionDiedError:
+            # The remote session is gone; make the death visible to the
+            # pool so the member is dropped rather than re-idled.
+            self.close()
+            raise
         with self._lock:
             self.last_used = time.monotonic()
             self.queries_executed += 1
@@ -67,8 +76,12 @@ class Connection:
 
     def create_temp_table(self, name: str, table: Table) -> None:
         if not self.is_open:
-            raise SourceError("connection is closed")
-        self.driver.create_temp_table(name, table)
+            raise ConnectionDiedError("connection is closed")
+        try:
+            self.driver.create_temp_table(name, table)
+        except ConnectionDiedError:
+            self.close()
+            raise
         with self._lock:
             self.temp_tables[name] = table.schema()
             self.last_used = time.monotonic()

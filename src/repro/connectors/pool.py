@@ -11,6 +11,13 @@ Checked-out connections are multiplexed across callers "regardless of
 their remote state": acquire() prefers a connection that already has the
 requested temporary structure, falling back to any idle one, and finally
 opening a new one up to the pool's limit.
+
+Robustness: an optional :class:`~repro.faults.breaker.CircuitBreaker`
+gates ``acquire`` — when the source keeps failing, callers are rejected
+fast with :class:`~repro.errors.CircuitOpenError` instead of piling
+retries onto a sick backend. Callers report query failures through
+``release(conn, failed=True)`` (or ``discard``), which closes the member
+(pool-member death) and feeds the breaker.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from .. import obs
-from ..errors import SourceError
+from ..errors import SourceError, TransientSourceError
 from .connection import Connection, DataSource
 
 
@@ -31,6 +38,8 @@ class PoolStats:
         self.reused = 0
         self.evicted = 0
         self.wait_events = 0
+        self.discarded = 0
+        self.connect_failures = 0
 
 
 class ConnectionPool:
@@ -42,13 +51,16 @@ class ConnectionPool:
         *,
         max_connections: int = 8,
         idle_ttl_s: float = 300.0,
+        breaker=None,
     ):
         self.source = source
         self.max_connections = max_connections
         self.idle_ttl_s = idle_ttl_s
+        self.breaker = breaker
         self.stats = PoolStats()
         self._idle: list[Connection] = []
         self._busy: set[Connection] = set()
+        self._opening = 0  # slots reserved by in-flight connect() calls
         self._lock = threading.Condition()
         self._closed = False
 
@@ -62,6 +74,8 @@ class ConnectionPool:
         will be duplicated in several connections", so preference — not a
         guarantee — is the right contract).
         """
+        if self.breaker is not None:
+            self.breaker.admit()  # raises CircuitOpenError when open
         wait_started: float | None = None
         with self._lock:
             while True:
@@ -87,15 +101,31 @@ class ConnectionPool:
                         reason = "reused an idle connection"
                     self._record_acquire("reused", wait_started, reason)
                     return conn
-                if len(self._busy) + len(self._idle) < self.max_connections:
+                if (
+                    len(self._busy) + len(self._idle) + self._opening
+                    < self.max_connections
+                ):
+                    self._opening += 1  # reserve the slot across connect()
                     break
                 self.stats.wait_events += 1
                 if wait_started is None:
                     wait_started = time.monotonic()
                 self._lock.wait()
-        with obs.span("pool.connect", source=self.source.name):
-            conn = self.source.connect()
+        try:
+            with obs.span("pool.connect", source=self.source.name):
+                conn = self.source.connect()
+        except SourceError:
+            with self._lock:
+                self._opening -= 1
+                self.stats.connect_failures += 1
+                self._lock.notify()  # the reserved slot is free again
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
         with self._lock:
+            self._opening -= 1
             self._busy.add(conn)
             self.stats.opened += 1
             self._record_acquire(
@@ -135,19 +165,59 @@ class ConnectionPool:
                     return self._idle.pop(i)
         return self._idle.pop()
 
-    def release(self, conn: Connection) -> None:
+    def release(self, conn: Connection, *, failed: bool = False) -> None:
+        """Return a connection; ``failed=True`` reports a query failure.
+
+        A failed member is closed instead of going back to idle — its
+        remote session state is suspect (the death may have severed it)
+        — and the failure feeds the breaker. Healthy releases feed the
+        breaker a success, resetting its consecutive-failure count.
+        """
+        if failed:
+            self.discard(conn)
+            return
         with self._lock:
             self._busy.discard(conn)
             if conn.is_open and not self._closed:
                 self._idle.append(conn)
             self._lock.notify()
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def discard(self, conn: Connection) -> None:
+        """Close and drop a (suspected dead) member, feeding the breaker."""
+        with self._lock:
+            self._busy.discard(conn)
+            conn.close()
+            self.stats.discarded += 1
+            self._lock.notify()
+        obs.counter("pool.discarded").inc()
+        if obs.events_enabled():
+            obs.event(
+                "pool",
+                "discarded",
+                "connection failed mid-flight: closed instead of returning "
+                "it to the pool (remote session state is suspect)",
+                source=self.source.name,
+            )
+        if self.breaker is not None:
+            self.breaker.record_failure()
 
     @contextmanager
     def connection(self, *, prefer_temp_table: str | None = None) -> Iterator[Connection]:
+        """Check out a connection; transient failures discard the member."""
         conn = self.acquire(prefer_temp_table=prefer_temp_table)
         try:
             yield conn
-        finally:
+        except TransientSourceError:
+            self.release(conn, failed=True)
+            raise
+        except BaseException:
+            # Non-transient errors (bad SQL, logic bugs) say nothing about
+            # the member's health: return it without penalizing the source.
+            self.release(conn)
+            raise
+        else:
             self.release(conn)
 
     # ------------------------------------------------------------------ #

@@ -23,8 +23,9 @@ import hashlib
 import threading
 from pathlib import Path
 
+from .. import obs
 from ..datatypes import LogicalType
-from ..errors import SourceError
+from ..errors import SourceError, SourceUnavailableError
 from ..sql.dialects import ANSI
 from ..tde.engine import DataEngine
 from ..tde.storage.filepack import pack_database, unpack_database
@@ -89,7 +90,11 @@ class FileDataSource:
         self.delimiter = delimiter
         self.workbook = workbook
         self.extract_creations = 0
+        #: True while queries are being answered from a stale extract
+        #: because the underlying file became unreadable.
+        self.serving_stale = False
         self._engine: DataEngine | None = None
+        self._stale_engine: DataEngine | None = None
         self._lock = threading.Lock()
         self._temp_counter = 0
 
@@ -98,27 +103,58 @@ class FileDataSource:
         with self._lock:
             if self._engine is not None:
                 return self._engine
-            if self.store is not None:
-                cached = self.store.load(self.path)
-                if cached is not None:
-                    self._engine = cached
-                    return cached
-            engine = DataEngine(self.path.stem)
-            if self.workbook:
-                for sheet, table in parse_workbook(self.path).items():
-                    engine.create_table(f"Extract.{sheet}", table)
-            else:
-                table = parse_text_file(self.path, delimiter=self.delimiter)
-                engine.create_table(FILE_TABLE, table)
+            try:
+                if self.store is not None:
+                    cached = self.store.load(self.path)
+                    if cached is not None:
+                        self._engine = cached
+                        self.serving_stale = False
+                        return cached
+                engine = DataEngine(self.path.stem)
+                if self.workbook:
+                    for sheet, table in parse_workbook(self.path).items():
+                        engine.create_table(f"Extract.{sheet}", table)
+                else:
+                    table = parse_text_file(self.path, delimiter=self.delimiter)
+                    engine.create_table(FILE_TABLE, table)
+            except OSError as exc:
+                # The file vanished or became unreadable. Degrade to the
+                # extract we already built (if any) instead of failing;
+                # otherwise surface a retryable source error, not a raw
+                # OSError the pipeline's degradation net cannot catch.
+                if self._stale_engine is not None:
+                    self.serving_stale = True
+                    if obs.events_enabled():
+                        obs.event(
+                            "degrade.stale_extract",
+                            "stale",
+                            f"file {self.path.name} is unreadable "
+                            f"({type(exc).__name__}: {exc}); serving the "
+                            "previous shadow extract flagged stale",
+                            source=self.name,
+                        )
+                    self._engine = self._stale_engine
+                    return self._engine
+                raise SourceUnavailableError(
+                    f"cannot read {self.path}: {exc}"
+                ) from exc
             self.extract_creations += 1
+            self.serving_stale = False
             if self.store is not None:
                 self.store.save(self.path, engine)
             self._engine = engine
             return engine
 
     def invalidate(self) -> None:
-        """Drop the in-memory extract (e.g. after the file changed)."""
+        """Drop the in-memory extract (e.g. after the file changed).
+
+        The dropped extract is retained as a stale fallback: if the next
+        re-parse fails because the file is gone, queries degrade to the
+        last good extract (``serving_stale`` flips on) rather than erroring.
+        """
         with self._lock:
+            if self._engine is not None:
+                self._stale_engine = self._engine
             self._engine = None
 
     def connect(self) -> Connection:

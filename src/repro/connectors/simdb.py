@@ -29,7 +29,7 @@ from dataclasses import dataclass, field, replace
 
 from .. import obs
 from ..datatypes import LogicalType
-from ..errors import ConnectionLimitError, SourceError, SqlError
+from ..errors import ConnectionLimitError, SourceError, SourceTimeoutError, SqlError
 from ..expr.ast import Literal
 from ..sql.dialects import ANSI, Capabilities
 from ..sql.parser import (
@@ -66,6 +66,10 @@ class ServerProfile:
     temp_table_row_time_s: float = 2e-7
     ddl_global_lock: bool = False
     time_scale: float = 1.0
+    #: Server-side statement timeout: a query whose modeled service time
+    #: exceeds this burns only the budget, then fails with
+    #: :class:`~repro.errors.SourceTimeoutError` (retryable).
+    statement_timeout_s: float | None = None
 
     def scaled(self, factor: float) -> "ServerProfile":
         return replace(self, time_scale=factor)
@@ -109,9 +113,19 @@ class ServerStats:
 class SimulatedDatabase:
     """One simulated server instance holding tables and sessions."""
 
-    def __init__(self, name: str, profile: ServerProfile | None = None):
+    def __init__(
+        self,
+        name: str,
+        profile: ServerProfile | None = None,
+        *,
+        fault_plan=None,
+    ):
         self.name = name
         self.profile = profile or ServerProfile()
+        #: Optional server-side :class:`~repro.faults.plan.FaultPlan` —
+        #: the same op names ("connect"/"execute") the client-side
+        #: injector uses, so one plan can script either layer.
+        self.fault_plan = fault_plan
         # The inner engine runs serially; the *profile* decides how much
         # virtual parallelism the backend claims to have.
         self.engine = DataEngine(
@@ -142,6 +156,7 @@ class SimulatedDatabase:
     # Sessions
     # ------------------------------------------------------------------ #
     def open_session(self) -> "SimSession":
+        self._apply_fault("connect")
         with self._lock:
             if self._connections >= self.profile.max_connections:
                 raise ConnectionLimitError(
@@ -160,6 +175,22 @@ class SimulatedDatabase:
     @property
     def open_connections(self) -> int:
         return self._connections
+
+    # ------------------------------------------------------------------ #
+    # Faults
+    # ------------------------------------------------------------------ #
+    def _apply_fault(self, op: str) -> None:
+        """Consult the server-side fault plan, if any, for this operation."""
+        if self.fault_plan is None:
+            return
+        decision = self.fault_plan.decide(op, self.name)
+        if decision.clean:
+            return
+        if decision.kind == "latency":
+            # Modeled server slowness: scaled like every other service time.
+            self._sleep(decision.latency_s)
+            return
+        raise decision.to_error(op, self.name)
 
     # ------------------------------------------------------------------ #
     # Timing
@@ -191,7 +222,18 @@ class SimulatedDatabase:
                 ):
                     held += 1
                 elapsed = overhead_s + cpu_seconds / held
+                timeout = self.profile.statement_timeout_s
                 try:
+                    if timeout is not None and elapsed > timeout:
+                        # Burn only the budget, then kill the statement.
+                        self._sleep(timeout)
+                        obs.counter("simdb.statement_timeouts").inc()
+                        raise SourceTimeoutError(
+                            f"{self.name}: statement exceeded the "
+                            f"{timeout:.3f}s server-side timeout "
+                            f"(needed {elapsed:.3f}s)",
+                            timeout_s=timeout,
+                        )
                     self._sleep(elapsed)
                 finally:
                     for _ in range(held):
@@ -228,6 +270,7 @@ class SimSession:
         return self._execute(sql)
 
     def _execute(self, sql: str) -> Table:
+        self.db._apply_fault("execute")
         stmt = parse_statement(sql)
         self.db.stats.record(statements=1)
         if isinstance(stmt, SelectStatement):
@@ -351,10 +394,15 @@ class SimDbDataSource:
 
     query_language = "sql"
 
-    def __init__(self, db: SimulatedDatabase):
+    def __init__(self, db: SimulatedDatabase, *, timeout_s: float | None = None):
         self.db = db
         self.name = db.name
         self.dialect = db.profile.dialect
+        #: Advertised per-connector statement timeout (see Connection);
+        #: defaults to the server's own statement timeout.
+        self.timeout_s = (
+            timeout_s if timeout_s is not None else db.profile.statement_timeout_s
+        )
 
     def connect(self) -> Connection:
         return Connection(self, _SimDbDriver(self.db.open_session()))

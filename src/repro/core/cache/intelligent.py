@@ -493,7 +493,8 @@ class IntelligentCache:
             return len(doomed)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def entries(self) -> list[tuple[QuerySpec, Table]]:
         with self._lock:

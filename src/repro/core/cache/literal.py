@@ -80,4 +80,5 @@ class LiteralCache:
             return len(doomed)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -7,6 +7,15 @@ its temporary structures), creates missing temp tables, runs the text,
 and applies its local post-ops. A serial mode exists for the experiments
 that compare the two strategies.
 
+Robustness: transient source failures (timeouts, blips, dead pool
+members) are retried under a :class:`~repro.faults.retry.RetryPolicy`
+with exponential backoff — each attempt checks out a *fresh* connection,
+because the pool discards members that failed mid-flight. Breaker
+rejections (:class:`~repro.errors.CircuitOpenError`) are deliberately not
+retried. With ``capture_errors=True`` (the pipeline's mode) exhausted
+failures come back inside the :class:`ExecutionOutcome` instead of
+raising, so one dead source degrades its own specs, never the batch.
+
 Observability: each query runs under an ``executor.query`` span. Because
 ``contextvars`` do not flow into pool workers by themselves, the batch
 entry point captures the submitting thread's current span and re-attaches
@@ -18,12 +27,16 @@ peak concurrency), an ``executor.queue_depth`` gauge and an
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from .. import obs
 from ..connectors.pool import ConnectionPool
+from ..errors import SourceError
+from ..faults.clock import Clock
+from ..faults.retry import NO_RETRY, RetryPolicy, call_with_retry
 from ..queries.compile import CompiledQuery
 from ..queries.postops import apply_post_ops
 from ..tde.storage.table import Table
@@ -31,11 +44,22 @@ from ..tde.storage.table import Table
 
 @dataclass
 class ExecutionOutcome:
-    """Result of one remote query plus accounting."""
+    """Result of one remote query plus accounting.
 
-    table: Table
+    Exactly one of ``table`` / ``error`` is set. ``attempts`` counts
+    tries including the first (>1 means the retry machinery recovered or
+    gave up).
+    """
+
+    table: Table | None
     elapsed_s: float
     from_literal_cache: bool = False
+    error: SourceError | None = None
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 class ConcurrentQueryExecutor:
@@ -47,24 +71,39 @@ class ConcurrentQueryExecutor:
         *,
         max_workers: int = 8,
         literal_cache=None,
+        retry: RetryPolicy | None = None,
+        clock: Clock | None = None,
     ):
         self.pool = pool
         self.max_workers = max_workers
         self.literal_cache = literal_cache
+        self.retry = retry or NO_RETRY
+        self.clock = clock
         self.remote_queries_sent = 0
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
-    def run_one(self, compiled: CompiledQuery) -> ExecutionOutcome:
+    def run_one(
+        self, compiled: CompiledQuery, *, capture_errors: bool = False
+    ) -> ExecutionOutcome:
         """Execute one compiled query (literal cache → pool → post-ops)."""
         inflight = obs.gauge("executor.inflight")
         inflight.inc()
         try:
             with obs.span("executor.query", datasource=compiled.datasource) as sp:
-                outcome = self._run_one(compiled)
-                sp.set(
-                    rows=outcome.table.n_rows,
-                    from_literal_cache=outcome.from_literal_cache,
-                )
+                try:
+                    outcome = self._run_one(compiled)
+                except SourceError as exc:
+                    if not capture_errors:
+                        raise
+                    outcome = ExecutionOutcome(None, 0.0, error=exc)
+                    obs.counter("executor.failures").inc()
+                    sp.set(error=type(exc).__name__)
+                else:
+                    sp.set(
+                        rows=outcome.table.n_rows,
+                        from_literal_cache=outcome.from_literal_cache,
+                    )
         finally:
             inflight.dec()
         obs.histogram("executor.query_s").observe(outcome.elapsed_s)
@@ -77,30 +116,52 @@ class ConcurrentQueryExecutor:
             if cached is not None:
                 result = apply_post_ops(cached, compiled.post_ops)
                 return ExecutionOutcome(result, time.monotonic() - started, True)
-        prefer = next(iter(compiled.temp_tables), None)
-        with self.pool.connection(prefer_temp_table=prefer) as conn:
-            for name, table in compiled.temp_tables.items():
-                if not conn.has_temp_table(name):
-                    conn.create_temp_table(name, table)
-            with obs.span("executor.remote_fetch"):
-                raw = conn.execute(compiled.text)
-        self.remote_queries_sent += 1
+
+        attempts = [0]
+
+        def attempt() -> Table:
+            attempts[0] += 1
+            prefer = next(iter(compiled.temp_tables), None)
+            # The pool's context manager discards the member (feeding the
+            # breaker) when this attempt dies with a transient error, so
+            # the next attempt starts from a fresh connection.
+            with self.pool.connection(prefer_temp_table=prefer) as conn:
+                for name, table in compiled.temp_tables.items():
+                    if not conn.has_temp_table(name):
+                        conn.create_temp_table(name, table)
+                with obs.span("executor.remote_fetch"):
+                    return conn.execute(compiled.text)
+
+        raw = call_with_retry(
+            attempt,
+            policy=self.retry,
+            clock=self.clock,
+            key=f"{compiled.datasource}:{compiled.literal_key[:12]}",
+        )
+        with self._stats_lock:
+            self.remote_queries_sent += 1
         elapsed = time.monotonic() - started
         if self.literal_cache is not None:
             self.literal_cache.put(
                 compiled.literal_key, compiled.datasource, raw, cost_s=elapsed
             )
         result = apply_post_ops(raw, compiled.post_ops)
-        return ExecutionOutcome(result, time.monotonic() - started)
+        return ExecutionOutcome(
+            result, time.monotonic() - started, attempts=attempts[0]
+        )
 
     def run_batch(
-        self, compiled: list[CompiledQuery], *, concurrent: bool = True
+        self,
+        compiled: list[CompiledQuery],
+        *,
+        concurrent: bool = True,
+        capture_errors: bool = False,
     ) -> list[ExecutionOutcome]:
         """Execute a batch, concurrently by default (paper 3.3 phase two)."""
         if not compiled:
             return []
         if not concurrent or len(compiled) == 1:
-            return [self.run_one(c) for c in compiled]
+            return [self.run_one(c, capture_errors=capture_errors) for c in compiled]
         workers = min(self.max_workers, len(compiled))
         obs.gauge("executor.queue_depth").set(len(compiled))
         # Hand the submitting context's span to the workers so their
@@ -109,7 +170,7 @@ class ConcurrentQueryExecutor:
 
         def traced(query: CompiledQuery) -> ExecutionOutcome:
             with obs.attach(parent):
-                return self.run_one(query)
+                return self.run_one(query, capture_errors=capture_errors)
 
         with ThreadPoolExecutor(max_workers=workers) as tp:
             return list(tp.map(traced, compiled))

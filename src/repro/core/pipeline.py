@@ -13,6 +13,15 @@ For each batch of query specs:
    for externalized filters (3.5, 3.1).
 5. **Reuse** — results are (optionally enriched and) inserted into the
    intelligent cache; local nodes are then answered from it.
+
+Degradation: a source failure (retries exhausted, circuit breaker open,
+pool member dead) never raises out of :meth:`QueryPipeline.run_batch`.
+The failed spec is served from the :class:`~repro.core.stale.
+StaleResultStore` — flagged via :attr:`BatchResult.stale_keys` — when a
+last-known-good answer exists, and recorded in :attr:`BatchResult.errors`
+otherwise, so one dead connector degrades its own zones instead of
+failing the whole dashboard. Every degrade decision lands in the
+``obs.events`` ring (``degrade.*``).
 """
 
 from __future__ import annotations
@@ -22,6 +31,9 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..connectors.pool import ConnectionPool
+from ..errors import SourceError, SourceUnavailableError
+from ..faults.breaker import CircuitBreaker
+from ..faults.retry import RetryPolicy
 from ..queries.compile import compile_spec
 from ..queries.model import DataSourceModel
 from ..queries.postops import apply_post_ops
@@ -32,12 +44,17 @@ from .cache.intelligent import IntelligentCache, enrich_spec, match_specs
 from .cache.literal import LiteralCache
 from .executor import ConcurrentQueryExecutor
 from .fusion import fuse_batch
+from .stale import StaleResultStore
 
 
 @dataclass
 class PipelineOptions:
     """Feature toggles — each maps to one of the paper's optimizations,
-    so the benchmarks can ablate them independently."""
+    so the benchmarks can ablate them independently. The robustness knobs
+    (retry/breaker/stale) default to the seed behaviour: no retries, no
+    breaker, but stale serves on — a failure with no history is an error
+    either way, and one *with* history is a better user experience served
+    stale."""
 
     enable_intelligent_cache: bool = True
     enable_literal_cache: bool = True
@@ -49,6 +66,16 @@ class PipelineOptions:
     max_workers: int = 8
     max_connections: int = 8
     externalize_threshold: int | None = None
+    #: Retry/backoff for transient source errors (None = single attempt).
+    retry: RetryPolicy | None = None
+    #: Build a circuit breaker into the pool (ignored when a pool is
+    #: passed in; configure that pool's breaker directly instead).
+    enable_breaker: bool = False
+    breaker_threshold: int = 5
+    breaker_recovery_s: float = 30.0
+    #: Serve last-known-good results (flagged stale) when a source is down.
+    serve_stale: bool = True
+    stale_max_entries: int = 256
 
 
 @dataclass
@@ -67,9 +94,30 @@ class BatchResult:
     fused_away: int = 0
     literal_hits: int = 0
     elapsed_s: float = 0.0
+    #: Canonical keys answered from the stale store because their source
+    #: failed — the ``stale=True`` flag of a degraded serve.
+    stale_keys: set[str] = field(default_factory=set)
+    #: Canonical key -> error description for specs that could not be
+    #: answered at all (no fresh result, no stale fallback).
+    errors: dict[str, str] = field(default_factory=dict)
 
     def table_for(self, spec: QuerySpec) -> Table:
-        return self.tables[spec.canonical()]
+        key = spec.canonical()
+        if key not in self.tables and key in self.errors:
+            raise SourceUnavailableError(self.errors[key])
+        return self.tables[key]
+
+    def is_stale(self, spec: QuerySpec) -> bool:
+        """Whether this spec's answer was a degraded (stale) serve."""
+        return spec.canonical() in self.stale_keys
+
+    @property
+    def stale_hits(self) -> int:
+        return len(self.stale_keys)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
 
 
 class QueryPipeline:
@@ -84,21 +132,43 @@ class QueryPipeline:
         pool: ConnectionPool | None = None,
         intelligent_cache: IntelligentCache | None = None,
         literal_cache: LiteralCache | None = None,
+        stale_store: StaleResultStore | None = None,
+        clock=None,
     ):
         self.source = source
         self.model = model
         self.options = options or PipelineOptions()
-        self.pool = pool or ConnectionPool(
-            source, max_connections=self.options.max_connections
-        )
+        self.clock = clock
+        if pool is None:
+            breaker = None
+            if self.options.enable_breaker:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.options.breaker_threshold,
+                    recovery_s=self.options.breaker_recovery_s,
+                    clock=clock,
+                    name=source.name,
+                )
+            pool = ConnectionPool(
+                source,
+                max_connections=self.options.max_connections,
+                breaker=breaker,
+            )
+        self.pool = pool
         self.intelligent_cache = intelligent_cache or IntelligentCache(
             choose_best=self.options.choose_best_match
         )
         self.literal_cache = literal_cache or LiteralCache()
+        self.stale_store = stale_store or (
+            StaleResultStore(self.options.stale_max_entries, clock=clock)
+            if self.options.serve_stale
+            else None
+        )
         self.executor = ConcurrentQueryExecutor(
             self.pool,
             max_workers=self.options.max_workers,
             literal_cache=self.literal_cache if self.options.enable_literal_cache else None,
+            retry=self.options.retry,
+            clock=clock,
         )
 
     # ------------------------------------------------------------------ #
@@ -125,6 +195,7 @@ class QueryPipeline:
                     if self.options.enable_intelligent_cache:
                         cached = self.intelligent_cache.lookup(spec)
                         if cached is not None:
+                            self._record_good(spec.canonical(), cached)
                             result.tables[spec.canonical()] = cached
                             result.cache_hits += 1
                             continue
@@ -138,6 +209,10 @@ class QueryPipeline:
                 derived_hits=result.derived_hits,
                 fused_away=result.fused_away,
             )
+            if result.stale_keys or result.errors:
+                batch_span.set(
+                    stale=len(result.stale_keys), failed=len(result.errors)
+                )
         return result
 
     # ------------------------------------------------------------------ #
@@ -181,11 +256,19 @@ class QueryPipeline:
                 to_send.append((fq, send_spec, compiled))
         with obs.span("pipeline.remote_execution", queries=len(to_send)):
             outcomes = self.executor.run_batch(
-                [c for _fq, _s, c in to_send], concurrent=self.options.concurrent
+                [c for _fq, _s, c in to_send],
+                concurrent=self.options.concurrent,
+                capture_errors=True,
             )
         # Phase 4: populate caches and split fused results.
         with obs.span("pipeline.post_processing", queries=len(outcomes)):
             for (fq, send_spec, _compiled), outcome in zip(to_send, outcomes):
+                if outcome.failed:
+                    # The whole fused query is gone; degrade each member
+                    # independently (stale serve or per-spec error).
+                    for member in fq.members:
+                        self._degrade(member.canonical(), outcome.error, result)
+                    continue
                 result.remote_queries += 0 if outcome.from_literal_cache else 1
                 result.literal_hits += 1 if outcome.from_literal_cache else 0
                 if self.options.enable_intelligent_cache:
@@ -212,27 +295,89 @@ class QueryPipeline:
                             answer = apply_post_ops(
                                 outcome.table, fq.extract_ops[key]
                             )
+                    self._record_good(key, answer)
                     result.tables[key] = answer
         # Phase 5: answer the local (derivable) nodes.
         with obs.span("pipeline.local_answers", nodes=len(local_nodes)):
             for j, provider_idx in local_nodes:
                 spec = pending[j]
                 key = spec.canonical()
-                if key in result.tables:
+                if key in result.tables or key in result.errors:
                     continue
                 answer = None
                 if self.options.enable_intelligent_cache:
                     answer = self.intelligent_cache.lookup(spec)
                     if answer is not None:
                         result.derived_hits += 1
+                provider = pending[provider_idx]
+                provider_key = provider.canonical()
                 if answer is None:
-                    provider = pending[provider_idx]
-                    provider_table = result.tables[provider.canonical()]
+                    if provider_key not in result.tables:
+                        # The provider's fetch failed; this node inherits
+                        # the failure and degrades on its own merits.
+                        self._degrade(
+                            key,
+                            SourceUnavailableError(
+                                result.errors.get(
+                                    provider_key,
+                                    "provider query failed upstream",
+                                )
+                            ),
+                            result,
+                        )
+                        continue
+                    provider_table = result.tables[provider_key]
                     match = match_specs(provider, spec)
                     assert match is not None  # the graph edge proved this
                     answer = apply_post_ops(provider_table, match.post_ops)
+                    if provider_key in result.stale_keys:
+                        # Derived from a stale answer: stale itself.
+                        result.stale_keys.add(key)
+                if key not in result.stale_keys:
+                    self._record_good(key, answer)
                 result.tables[key] = answer
                 result.batch_local += 1
+
+    # ------------------------------------------------------------------ #
+    def _record_good(self, key: str, table: Table) -> None:
+        """Remember a fresh answer as the degradation fallback for key."""
+        if self.stale_store is not None:
+            self.stale_store.put(key, table)
+
+    def _degrade(self, key: str, error: SourceError, result: BatchResult) -> None:
+        """Source is down for ``key``: stale serve if possible, else error.
+
+        Never raises — the degradation contract is that one dead source
+        costs its own specs, not the batch.
+        """
+        detail = f"{type(error).__name__}: {error}"
+        if self.stale_store is not None:
+            stale = self.stale_store.get(key)
+            if stale is not None:
+                table, age_s = stale
+                result.tables[key] = table
+                result.stale_keys.add(key)
+                obs.counter("pipeline.stale_serves").inc()
+                if obs.events_enabled():
+                    obs.event(
+                        "degrade.stale_serve",
+                        "stale",
+                        f"source failed ({detail}); serving the last good "
+                        f"result from {age_s:.1f}s ago flagged stale",
+                        spec=key,
+                        age_s=round(age_s, 3),
+                    )
+                return
+        result.errors[key] = detail
+        obs.counter("pipeline.spec_failures").inc()
+        if obs.events_enabled():
+            obs.event(
+                "degrade.error",
+                "failed",
+                f"source failed ({detail}) and no stale result exists; "
+                "reporting a per-spec error instead of failing the batch",
+                spec=key,
+            )
 
     # ------------------------------------------------------------------ #
     def explain_batch(
@@ -290,6 +435,13 @@ class QueryPipeline:
             remote_specs = list(pending)
         fused = fuse_batch(remote_specs, enabled=self.options.enable_fusion)
         backend = self._backend_engine()
+        breaker = getattr(self.pool, "breaker", None)
+        breaker_note = None
+        if breaker is not None and breaker.state != "closed":
+            breaker_note = (
+                f"circuit breaker is {breaker.state}: this query would be "
+                "rejected fast and degraded (stale serve or per-spec error)"
+            )
         for fq in fused:
             compiled = compile_spec(
                 fq.spec,
@@ -316,6 +468,8 @@ class QueryPipeline:
                 entry["language"] = compiled.language
                 entry["text"] = compiled.text
                 entry["plan"] = plan
+                if breaker_note is not None:
+                    entry["degradation"] = breaker_note
         return [reports[spec.canonical()] for spec in ordered]
 
     def _backend_engine(self):
@@ -331,6 +485,9 @@ class QueryPipeline:
 
         Intelligent-cache entries are keyed by the *model* name (the view
         specs are written against); literal entries by the backend name.
+        The stale store deliberately survives: "the last result before
+        the refresh" is exactly what a degraded serve wants if the source
+        dies right after invalidation.
         """
         self.intelligent_cache.invalidate(self.model.name)
         self.literal_cache.invalidate(self.source.name)

@@ -47,6 +47,9 @@ class InteractionPrefetcher:
         self.background = background
         self.stats = PrefetchStats()
         self._threads: list[threading.Thread] = []
+        # Guards stats and the thread list: background warms finish
+        # concurrently, and unsynchronized `+=` loses updates.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def observe(self, session: "DashboardSession", zone_name: str, selected) -> int:
@@ -56,9 +59,10 @@ class InteractionPrefetcher:
         intelligent cache) that will serve the real interaction, so an
         accurate prediction turns the next click into a pure cache hit.
         """
-        self.stats.interactions_observed += 1
         specs = self.predict(session, zone_name, tuple(selected))
-        self.stats.predictions += len(specs)
+        with self._lock:
+            self.stats.interactions_observed += 1
+            self.stats.predictions += len(specs)
         if not specs:
             obs.event(
                 "prefetch",
@@ -80,17 +84,21 @@ class InteractionPrefetcher:
             thread = threading.Thread(
                 target=self._warm, args=(session, specs), daemon=True
             )
+            with self._lock:
+                self._threads.append(thread)
             thread.start()
-            self._threads.append(thread)
         else:
             self._warm(session, specs)
         return len(specs)
 
     def wait(self, timeout: float | None = None) -> None:
         """Block until outstanding background prefetches complete."""
-        for thread in self._threads:
+        with self._lock:
+            pending = list(self._threads)
+        for thread in pending:
             thread.join(timeout)
-        self._threads = [t for t in self._threads if t.is_alive()]
+        with self._lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
 
     # ------------------------------------------------------------------ #
     def predict(
@@ -141,5 +149,6 @@ class InteractionPrefetcher:
             action.field for action in session.dashboard.actions
         )
         result = session.pipeline.run_batch(specs, reuse_fields=reuse)
-        self.stats.specs_prefetched += len(result.tables)
-        self.stats.batches += 1
+        with self._lock:
+            self.stats.specs_prefetched += len(result.tables)
+            self.stats.batches += 1

@@ -26,12 +26,24 @@ MAX_ITERATIONS = 10
 
 @dataclass
 class RenderResult:
-    """Outcome of rendering one dashboard state."""
+    """Outcome of rendering one dashboard state.
+
+    Degradation surfaces here per zone: ``stale_zones`` are zones served
+    from the last-known-good store (flagged stale, not failed), and
+    ``zone_errors`` maps zones that could not be answered at all to an
+    error description — the rest of the dashboard still renders.
+    """
 
     zone_tables: dict[str, Table]
     iterations: int
     batches: list[BatchResult]
     dropped_selections: list[tuple[str, Any]] = field(default_factory=list)
+    stale_zones: set[str] = field(default_factory=set)
+    zone_errors: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.stale_zones or self.zone_errors)
 
     @property
     def remote_queries(self) -> int:
@@ -96,19 +108,38 @@ class DashboardSession:
                 remote_queries=result.remote_queries,
                 cache_hits=result.cache_hits,
             )
+            if result.degraded:
+                render_span.set(
+                    stale_zones=len(result.stale_zones),
+                    zone_errors=len(result.zone_errors),
+                )
         return result
 
     def _render(self) -> RenderResult:
         batches: list[BatchResult] = []
         dropped: list[tuple[str, Any]] = []
+        stale_zones: set[str] = set()
+        zone_errors: dict[str, str] = {}
         for iteration in range(1, MAX_ITERATIONS + 1):
             batch_specs: list[tuple[str, QuerySpec]] = []
             for zone in self.dashboard.queryable_zones():
+                if zone.name in stale_zones or zone.name in zone_errors:
+                    # Already degraded during this render: don't hammer a
+                    # sick source again within the same request. The spec
+                    # stays un-recorded, so the next interaction retries.
+                    continue
                 spec = self.effective_spec(zone)
                 if self._rendered_specs.get(zone.name) != spec.canonical():
                     batch_specs.append((zone.name, spec))
             if not batch_specs:
-                return RenderResult(dict(self.zone_tables), iteration - 1, batches, dropped)
+                return RenderResult(
+                    dict(self.zone_tables),
+                    iteration - 1,
+                    batches,
+                    dropped,
+                    stale_zones,
+                    zone_errors,
+                )
             # Hint the pipeline about fields future interactions will
             # filter on, so cached results include them as dimensions
             # ("as long as the filtering columns are included", 3.2).
@@ -128,12 +159,31 @@ class DashboardSession:
                 batches.append(result)
                 zone_rows: dict[str, int] = {}
                 for zone_name, spec in batch_specs:
+                    key = spec.canonical()
+                    if key in result.errors:
+                        # Keep whatever the zone showed before; surface
+                        # the error instead of failing the dashboard.
+                        zone_errors[zone_name] = result.errors[key]
+                        obs.counter("dashboard.zone_errors").inc()
+                        continue
                     table = result.table_for(spec)
                     self.zone_tables[zone_name] = table
-                    self._rendered_specs[zone_name] = spec.canonical()
+                    if result.is_stale(spec):
+                        # A degraded (last-known-good) serve: show it but
+                        # leave the spec un-recorded so the next render
+                        # retries the source.
+                        stale_zones.add(zone_name)
+                        obs.counter("dashboard.stale_zones").inc()
+                    else:
+                        self._rendered_specs[zone_name] = key
                     zone_rows[zone_name] = table.n_rows
                     obs.counter(f"dashboard.zone.{zone_name}.renders").inc()
                 iter_span.set(zone_rows=zone_rows)
+                if stale_zones or zone_errors:
+                    iter_span.set(
+                        stale_zones=sorted(stale_zones),
+                        zone_errors=sorted(zone_errors),
+                    )
                 obs.histogram("dashboard.iteration_s").observe(result.elapsed_s)
             dropped.extend(self._validate_selections())
         raise WorkloadError("dashboard did not stabilize (action cycle?)")

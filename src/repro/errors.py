@@ -73,6 +73,44 @@ class SourceError(ReproError):
     """Raised by connectors when a data source misbehaves or disappears."""
 
 
+class TransientSourceError(SourceError):
+    """A source failure that is worth retrying (timeout, blip, dead member).
+
+    The executor's retry/backoff machinery retries these; permanent
+    :class:`SourceError` subclasses (bad SQL, missing table) are not
+    retried because a retry cannot change the outcome.
+    """
+
+
+class SourceTimeoutError(TransientSourceError):
+    """Raised when a connector operation exceeds its configured timeout."""
+
+    def __init__(self, message: str, timeout_s: float | None = None):
+        super().__init__(message)
+        self.timeout_s = timeout_s
+
+
+class SourceUnavailableError(TransientSourceError):
+    """Raised when a data source is (temporarily) unreachable or down."""
+
+
+class ConnectionDiedError(TransientSourceError):
+    """Raised when a pooled connection dies mid-flight (member death)."""
+
+
+class CircuitOpenError(SourceError):
+    """Raised fast when a circuit breaker is open for the data source.
+
+    Deliberately *not* transient: retrying against an open breaker would
+    defeat its purpose. Callers degrade (stale serve / per-zone error)
+    instead, and the breaker lets probes through once it is half-open.
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class ConnectionLimitError(SourceError):
     """Raised when a simulated server rejects a connection (limit reached)."""
 

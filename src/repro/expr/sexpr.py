@@ -10,13 +10,16 @@ canonical, deterministic rendering when building cache keys. The grammar:
 
 Identifiers in operand position are column references. Special heads:
 ``col`` (explicit column ref), ``list`` (tuple literal for IN), ``date`` /
-``datetime`` (temporal literals), ``cast``, ``case``/``when``/``else``, and
-the aggregate names when aggregates are allowed.
+``datetime`` (temporal literals), ``float`` (non-finite float literals,
+whose repr would otherwise read back as identifiers), ``cast``,
+``case``/``when``/``else``, and the aggregate names when aggregates are
+allowed.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import math as _math
 import re
 from typing import Any
 
@@ -88,6 +91,11 @@ def _scalar_text(v: Any, ltype: LogicalType | None = None) -> str:
     if isinstance(v, (int,)):
         return str(v)
     if isinstance(v, float):
+        # Non-finite floats have no numeric token form: repr() gives
+        # "inf"/"nan", which would read back as column references. Use an
+        # explicit (float "...") form instead.
+        if not _math.isfinite(v):
+            return f'(float "{v!r}")'
         return repr(v)
     if isinstance(v, str):
         return f'"{_escape(v)}"'
@@ -221,6 +229,10 @@ def build_expr(form, *, allow_agg: bool = False) -> Expr | AggExpr:
         return Literal(_dt.date.fromisoformat(str(rest[0])))
     if op == "datetime":
         return Literal(_dt.datetime.fromisoformat(str(rest[0])))
+    if op == "float":
+        if len(rest) != 1 or not isinstance(rest[0], _String):
+            raise TqlParseError('(float "...") takes one quoted value')
+        return Literal(float(str(rest[0])))
     if op == "cast":
         if len(rest) != 2 or str(rest[1]) not in _TYPE_NAMES:
             raise TqlParseError("(cast expr type) with a known type name")
@@ -259,4 +271,6 @@ def _literal_value(form) -> Any:
         return _dt.date.fromisoformat(str(form[1]))
     if isinstance(form, list) and form and str(form[0]) == "datetime":
         return _dt.datetime.fromisoformat(str(form[1]))
+    if isinstance(form, list) and form and str(form[0]) == "float":
+        return float(str(form[1]))
     raise TqlParseError(f"bad literal in list: {form!r}")

@@ -1,0 +1,69 @@
+"""Clocks for the fault layer: real time, or deterministic virtual time.
+
+Every retry delay, breaker recovery window and injected latency spike in
+this package goes through a :class:`Clock`, so a test (or a replayed
+failure schedule) can run on :class:`VirtualTimeClock` and finish in
+microseconds while producing *exactly* the same timeline on every run.
+The production default is :class:`SystemClock`.
+
+This is distinct from :class:`repro.obs.trace.VirtualClock`, which only
+*reads* time for span stamps; the fault layer also needs ``sleep`` to
+advance it (backoff waits, latency spikes).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """What the fault/retry/breaker machinery needs from a clock."""
+
+    def monotonic(self) -> float:  # pragma: no cover - protocol
+        ...
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class SystemClock:
+    """Wall-clock time; ``sleep`` really sleeps."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualTimeClock:
+    """A thread-safe virtual clock where sleeping *is* advancing.
+
+    ``sleep`` advances the clock instead of blocking, so a scripted
+    failure schedule (including every backoff wait) replays in constant
+    real time. ``advance`` exists for tests that move time without a
+    sleeper (e.g. to expire a breaker's recovery window).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(max(seconds, 0.0))
+
+    def advance(self, seconds: float) -> float:
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+
+#: Shared default so callers can write ``clock or SYSTEM_CLOCK``.
+SYSTEM_CLOCK = SystemClock()

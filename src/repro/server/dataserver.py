@@ -115,6 +115,10 @@ class DataServerSession:
         self.closed = False
         self.bytes_from_client = 0
         self.queries_answered = 0
+        #: Whether the most recent :meth:`query` was a degraded (stale)
+        #: serve, plus a running count — the proxy-level `stale=True` flag.
+        self.last_stale = False
+        self.stale_serves = 0
         self._sets: dict[str, tuple[str, str]] = {}  # handle -> (field, shared name)
 
     # ------------------------------------------------------------------ #
@@ -191,7 +195,16 @@ class DataServerSession:
             if user_filter is not None:
                 filters.append(user_filter)
             effective = spec.with_filters(tuple(filters))
-            result = self.published.pipeline.run_spec(effective)
+            batch = self.published.pipeline.run_batch([effective])
+            # For a single-spec session API, an unanswerable query raises
+            # (SourceUnavailableError out of table_for); a stale serve
+            # succeeds but is flagged on the session.
+            result = batch.table_for(effective)
+            self.last_stale = batch.is_stale(effective)
+            if self.last_stale:
+                self.stale_serves += 1
+                obs.counter("dataserver.stale_serves").inc()
+                sp.set(stale=True)
             self.queries_answered += 1
             obs.counter("dataserver.queries").inc()
             sp.set(rows=result.n_rows)

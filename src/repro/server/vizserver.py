@@ -127,8 +127,9 @@ class VizServer:
         started = time.monotonic()
         with obs.span(
             "vizserver.request", op="load", node=node.node_id, dashboard=dashboard_name
-        ):
+        ) as sp:
             result = session.render()
+            self._note_degradation(sp, result)
         obs.histogram("vizserver.request_s").observe(time.monotonic() - started)
         return node.node_id, result
 
@@ -140,10 +141,20 @@ class VizServer:
         started = time.monotonic()
         with obs.span(
             "vizserver.request", op="select", node=node.node_id, dashboard=dashboard_name
-        ):
+        ) as sp:
             result = session.select(zone, values)
+            self._note_degradation(sp, result)
         obs.histogram("vizserver.request_s").observe(time.monotonic() - started)
         return node.node_id, result
+
+    @staticmethod
+    def _note_degradation(sp, result: RenderResult) -> None:
+        if result.degraded:
+            obs.counter("vizserver.degraded_requests").inc()
+            sp.set(
+                stale_zones=sorted(result.stale_zones),
+                zone_errors=sorted(result.zone_errors),
+            )
 
     # ------------------------------------------------------------------ #
     def explain(
@@ -173,6 +184,40 @@ class VizServer:
                 name: by_canonical[spec.canonical()] for name, spec in zone_specs
             },
         }
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """Per-node robustness snapshot: breaker state, pool wear, stale serves.
+
+        The cluster-operator view of graceful degradation: a node whose
+        breaker is open (or whose pool keeps discarding members) is
+        serving stale results / per-zone errors rather than failing, and
+        this is where that shows up.
+        """
+        nodes = {}
+        for node in self.nodes:
+            pool = node.pipeline.pool
+            breaker = getattr(pool, "breaker", None)
+            stale_store = node.pipeline.stale_store
+            nodes[node.node_id] = {
+                "requests_handled": node.requests_handled,
+                "breaker": breaker.snapshot() if breaker is not None else None,
+                "pool": {
+                    "size": pool.size(),
+                    "discarded": pool.stats.discarded,
+                    "connect_failures": pool.stats.connect_failures,
+                },
+                "stale_entries": len(stale_store) if stale_store is not None else 0,
+                "stale_serves": (
+                    stale_store.stale_serves if stale_store is not None else 0
+                ),
+            }
+        degraded = [
+            node_id
+            for node_id, snap in nodes.items()
+            if snap["breaker"] is not None and snap["breaker"]["state"] != "closed"
+        ]
+        return {"nodes": nodes, "degraded_nodes": degraded}
 
     # ------------------------------------------------------------------ #
     def cache_summary(self) -> dict:

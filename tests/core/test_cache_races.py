@@ -1,0 +1,230 @@
+"""Races between cache eviction and concurrent lookups.
+
+Threads hammer the intelligent and literal caches with interleaved
+``put`` (forcing constant eviction through a tiny policy), ``lookup``,
+``probe`` and ``invalidate`` calls, then the invariants that the
+per-cache locks are supposed to protect are checked:
+
+* internal maps stay consistent (``_entries`` / ``_specs`` / index agree);
+* capacity limits hold;
+* stats are conserved (every lookup is exactly one hit or miss);
+* a lookup never returns the *wrong* entry's table, no matter how the
+  eviction interleaves.
+
+The prefetcher test at the bottom covers the shared-state bug this suite
+caught: background warm threads updated ``PrefetchStats`` with plain
+``+=``, losing increments when two batches finished at once.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from types import SimpleNamespace
+
+from repro.core.cache.eviction import EvictionPolicy
+from repro.core.cache.intelligent import IntelligentCache
+from repro.core.cache.literal import LiteralCache
+from repro.core.prefetch import InteractionPrefetcher
+from repro.core.stale import StaleResultStore
+from repro.expr.ast import AggExpr, ColumnRef
+from repro.queries.spec import QuerySpec
+from repro.tde.storage.table import Table
+
+N_THREADS = 8
+OPS_PER_THREAD = 300
+
+
+def _run_threads(worker, n=N_THREADS):
+    """Run ``worker(thread_index)`` on n threads; re-raise any failure."""
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n)
+
+    def wrapped(i):
+        try:
+            barrier.wait()
+            worker(i)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def _spec(i: int) -> QuerySpec:
+    """Specs on distinct datasources: no pair is subsumable, so a lookup
+    can only ever return entry i's own table."""
+    return QuerySpec(
+        f"ds{i}", ("g",), (("v_sum", AggExpr("sum", ColumnRef("v"))),)
+    )
+
+
+def _table(i: int) -> Table:
+    return Table.from_pydict({"g": [i], "v": [float(i)]})
+
+
+class TestIntelligentCacheRaces:
+    def _hammer(self, cache: IntelligentCache, n_specs: int = 32) -> int:
+        specs = [_spec(i) for i in range(n_specs)]
+        tables = [_table(i) for i in range(n_specs)]
+        lookups = [0]
+        lock = threading.Lock()
+
+        def worker(thread_index: int) -> None:
+            rng = random.Random(f"cache-race|{thread_index}")
+            mine = 0
+            for _ in range(OPS_PER_THREAD):
+                i = rng.randrange(n_specs)
+                roll = rng.random()
+                if roll < 0.35:
+                    cache.put(specs[i], tables[i], cost_s=0.01)
+                elif roll < 0.85:
+                    mine += 1
+                    got = cache.lookup(specs[i])
+                    if got is not None:
+                        # Never another entry's table: marker must match.
+                        assert got.column("g").python_values() == [i]
+                elif roll < 0.95:
+                    cache.probe(specs[i])
+                else:
+                    cache.invalidate(specs[i].datasource)
+            with lock:
+                lookups[0] += mine
+
+        _run_threads(worker)
+        return lookups[0]
+
+    def _check_consistent(self, cache: IntelligentCache, lookups: int) -> None:
+        assert set(cache._entries) == set(cache._specs)
+        assert len(cache) <= cache.policy.max_entries
+        if cache.index is not None:
+            assert set(cache.index._facts) == set(cache._entries)
+        stats = cache.stats
+        assert stats.exact_hits + stats.subsumption_hits + stats.misses == lookups
+        assert stats.puts >= stats.evictions
+
+    def test_eviction_racing_lookups(self):
+        cache = IntelligentCache(EvictionPolicy(max_entries=8))
+        self._check_consistent(cache, self._hammer(cache))
+
+    def test_eviction_racing_lookups_with_index(self):
+        cache = IntelligentCache(
+            EvictionPolicy(max_entries=8), use_index=True, choose_best=True
+        )
+        self._check_consistent(cache, self._hammer(cache))
+
+    def test_size_accounting_under_churn(self):
+        cache = IntelligentCache(EvictionPolicy(max_entries=6))
+        self._hammer(cache, n_specs=12)
+        assert cache.size_bytes() == sum(
+            e.size_bytes for e in cache._entries.values()
+        )
+
+    def test_subsumption_under_eviction_is_right_or_absent(self):
+        """A rollup answer derived while the provider is being evicted and
+        re-put must be the correct derivation or a miss — never garbage."""
+        cache = IntelligentCache(EvictionPolicy(max_entries=4))
+        provider = QuerySpec(
+            "ds", ("g",), (("v_sum", AggExpr("sum", ColumnRef("v"))),)
+        )
+        request = QuerySpec("ds", (), (("v_sum", AggExpr("sum", ColumnRef("v"))),))
+        table = Table.from_pydict({"g": [1, 2], "v_sum": [1.0, 2.0]})
+
+        def worker(thread_index: int) -> None:
+            rng = random.Random(f"subsume-race|{thread_index}")
+            for _ in range(OPS_PER_THREAD):
+                roll = rng.random()
+                if roll < 0.4:
+                    cache.put(provider, table)
+                elif roll < 0.9:
+                    got = cache.lookup(request)
+                    if got is not None:
+                        assert got.column("v_sum").python_values() == [3.0]
+                else:
+                    cache.invalidate("ds")
+
+        _run_threads(worker)
+
+
+class TestLiteralCacheRaces:
+    def test_eviction_racing_gets(self):
+        cache = LiteralCache(EvictionPolicy(max_entries=8))
+        keys = [f"select {i}" for i in range(32)]
+        tables = [_table(i) for i in range(32)]
+        gets = [0]
+        lock = threading.Lock()
+
+        def worker(thread_index: int) -> None:
+            rng = random.Random(f"literal-race|{thread_index}")
+            mine = 0
+            for _ in range(OPS_PER_THREAD):
+                i = rng.randrange(32)
+                roll = rng.random()
+                if roll < 0.4:
+                    cache.put(keys[i], f"ds{i % 4}", tables[i])
+                elif roll < 0.95:
+                    mine += 1
+                    got = cache.get(keys[i])
+                    if got is not None:
+                        assert got.column("g").python_values() == [i]
+                else:
+                    cache.invalidate(f"ds{rng.randrange(4)}")
+            with lock:
+                gets[0] += mine
+
+        _run_threads(worker)
+        assert len(cache) <= 8
+        assert cache.stats.hits + cache.stats.misses == gets[0]
+
+
+class TestStaleStoreRaces:
+    def test_bounded_lru_under_concurrent_put_get(self):
+        store = StaleResultStore(max_entries=8)
+        tables = [_table(i) for i in range(32)]
+
+        def worker(thread_index: int) -> None:
+            rng = random.Random(f"stale-race|{thread_index}")
+            for _ in range(OPS_PER_THREAD):
+                i = rng.randrange(32)
+                if rng.random() < 0.5:
+                    store.put(f"k{i}", tables[i])
+                else:
+                    entry = store.get(f"k{i}")
+                    if entry is not None:
+                        table, age_s = entry
+                        assert table.column("g").python_values() == [i]
+                        assert age_s >= 0.0
+
+        _run_threads(worker)
+        assert len(store) <= 8
+
+
+class TestPrefetcherStatsRace:
+    def test_concurrent_warms_lose_no_counts(self):
+        """Regression: ``PrefetchStats`` was updated with unsynchronized
+        ``+=`` from background warm threads, dropping increments."""
+        prefetcher = InteractionPrefetcher(background=False)
+        specs = [_spec(i) for i in range(3)]
+        session = SimpleNamespace(
+            dashboard=SimpleNamespace(actions=[]),
+            pipeline=SimpleNamespace(
+                run_batch=lambda batch, reuse_fields=frozenset(): SimpleNamespace(
+                    tables={s.canonical(): None for s in batch}
+                )
+            ),
+        )
+
+        per_thread = 200
+
+        def worker(thread_index: int) -> None:
+            for _ in range(per_thread):
+                prefetcher._warm(session, specs)
+
+        _run_threads(worker)
+        assert prefetcher.stats.batches == N_THREADS * per_thread
+        assert prefetcher.stats.specs_prefetched == N_THREADS * per_thread * 3

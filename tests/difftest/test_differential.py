@@ -1,0 +1,144 @@
+"""Differential equivalence: every optimization must be answer-preserving.
+
+A seeded generator (gen.py) draws a few hundred random specs; a raw
+pipeline with every optimization disabled computes the reference answer;
+then each optimized configuration — caches on, DOP > 1, fusion/batch
+graph on — must produce the same row multisets. This is the harness the
+fault-injection work leans on: if the robustness machinery (retries,
+degradation) ever changed an *answer* rather than just availability,
+this is where it would show.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineOptions, QueryPipeline
+from tests.core.conftest import make_model, make_source
+
+from .gen import assert_tables_equal, gen_specs
+
+SEED = 1337
+N_SPECS = 220  # the acceptance floor is 200
+BATCH = 8
+
+
+def _options(**overrides) -> PipelineOptions:
+    base = dict(
+        enable_intelligent_cache=False,
+        enable_literal_cache=False,
+        enable_fusion=False,
+        enable_batch_graph=False,
+        enrich_for_reuse=False,
+        concurrent=False,
+    )
+    base.update(overrides)
+    return PipelineOptions(**base)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    out = gen_specs(SEED, N_SPECS)
+    assert len(out) >= 200
+    return out
+
+
+@pytest.fixture(scope="module")
+def oracle(specs):
+    """Reference answers from the raw (no-optimization) pipeline."""
+    pipeline = QueryPipeline(make_source(), make_model(), options=_options())
+    try:
+        return {spec.canonical(): pipeline.run_spec(spec) for spec in specs}
+    finally:
+        pipeline.close()
+
+
+def _check_batched(specs, oracle, options: PipelineOptions, label: str) -> None:
+    pipeline = QueryPipeline(make_source(), make_model(), options=options)
+    try:
+        for start in range(0, len(specs), BATCH):
+            chunk = specs[start : start + BATCH]
+            result = pipeline.run_batch(chunk)
+            assert result.ok, f"{label}: unexpected errors {result.errors}"
+            for spec in chunk:
+                assert_tables_equal(
+                    result.table_for(spec),
+                    oracle[spec.canonical()],
+                    context=f"{label}: {spec.canonical()}",
+                )
+    finally:
+        pipeline.close()
+
+
+def test_generator_is_seed_deterministic():
+    first = [s.canonical() for s in gen_specs(SEED, 50)]
+    second = [s.canonical() for s in gen_specs(SEED, 50)]
+    assert first == second
+    assert first != [s.canonical() for s in gen_specs(SEED + 1, 50)]
+
+
+def test_generator_covers_shapes(specs):
+    # The stream should exercise every major spec feature.
+    assert any(s.limit is not None for s in specs)
+    assert any(s.order_by for s in specs)
+    assert any(not s.dimensions for s in specs)
+    assert any(not s.measures for s in specs)
+    assert any(len(s.filters) == 2 for s in specs)
+    assert any("name" in s.dimensions or "market" in s.dimensions for s in specs)
+
+
+def test_caches_preserve_answers(specs, oracle):
+    """Cache-on (intelligent + literal + enrichment) == cache-off."""
+    pipeline = QueryPipeline(
+        make_source(),
+        make_model(),
+        options=_options(
+            enable_intelligent_cache=True,
+            enable_literal_cache=True,
+            enrich_for_reuse=True,
+        ),
+    )
+    try:
+        # Two passes through the same pipeline: the first populates the
+        # caches (and already derives some answers from wider entries),
+        # the second is served almost entirely from cache. Both must
+        # match the oracle.
+        for pass_name in ("cold", "warm"):
+            for spec in specs:
+                assert_tables_equal(
+                    pipeline.run_spec(spec),
+                    oracle[spec.canonical()],
+                    context=f"cache {pass_name}: {spec.canonical()}",
+                )
+    finally:
+        pipeline.close()
+
+
+def test_concurrency_preserves_answers(specs, oracle):
+    """DOP=N (concurrent batches over the pool) == DOP=1."""
+    _check_batched(
+        specs,
+        oracle,
+        _options(concurrent=True, max_workers=8, max_connections=8),
+        "dop=8",
+    )
+
+
+def test_fusion_and_batch_graph_preserve_answers(specs, oracle):
+    """Fusion + batch-graph derivation == sending every spec alone."""
+    _check_batched(
+        specs,
+        oracle,
+        _options(enable_fusion=True, enable_batch_graph=True),
+        "fusion",
+    )
+
+
+def test_all_optimizations_together(specs, oracle):
+    """The full production configuration against the oracle."""
+    _check_batched(
+        specs,
+        oracle,
+        PipelineOptions(),  # everything on, defaults
+        "all-on",
+    )

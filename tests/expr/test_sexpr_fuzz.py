@@ -1,0 +1,201 @@
+"""Fuzz round-trip for the s-expression printer/parser.
+
+A seeded generator draws random expression trees — deliberately heavy on
+the hostile corners: non-ASCII and escape-heavy column names and string
+literals, non-finite floats, negative zero, huge/tiny magnitudes,
+microsecond datetimes, empty and mixed tuples, deep nesting — and asserts
+the print → parse → print fixpoint: ``to_sexpr(parse_sexpr(to_sexpr(x)))
+== to_sexpr(x)``. (Text fixpoint rather than tree equality because
+``nan != nan`` breaks structural comparison by design.)
+
+This suite is what caught the non-finite float bug: ``repr(inf)`` is
+``inf``, which the reader tokenized as a bare identifier and rebuilt as
+``ColumnRef("inf")`` — fixed by the ``(float "...")`` form.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import math
+import random
+
+import pytest
+
+from repro.expr.ast import AggExpr, Call, CaseWhen, Cast, ColumnRef, Literal
+from repro.expr.sexpr import parse_sexpr, to_sexpr
+from repro.datatypes import LogicalType
+
+# Hostile name/string material: ASCII idents, dotted paths, non-ASCII
+# (incl. astral-plane emoji and combining marks), escape-heavy text, and
+# strings that look like grammar tokens.
+NASTY_STRINGS = [
+    "",
+    " ",
+    "plain",
+    "Extract.flights",
+    "päivämäärä",
+    "日付",
+    "столбец",
+    "💰 revenue",
+    "é",  # e + combining acute
+    'quote"inside',
+    "back\\slash",
+    '\\"both\\"',
+    "\\\\\\",
+    "new\nline",
+    "tab\there",
+    "(lparen",
+    ")rparen",
+    "true",
+    "null",
+    "-inf",
+    "1e99",
+    "\x80\x81",
+    "col",
+    "list",
+]
+
+IDENTIFIERS = ["delay", "a", "Extract.flights", "_x9", "inf", "nan", "date_"]
+
+FLOATS = [
+    0.0,
+    -0.0,
+    1.5,
+    -2.25,
+    1e-300,
+    -1e300,
+    5e-324,
+    math.pi,
+    float("inf"),
+    float("-inf"),
+    float("nan"),
+]
+
+INTS = [0, 1, -1, 7, 2**63, -(2**70)]
+
+CALL_OPS = ["+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "and", "or", "not", "in", "abs"]
+
+
+def _scalar(rng: random.Random):
+    pick = rng.randrange(7)
+    if pick == 0:
+        return rng.choice(INTS)
+    if pick == 1:
+        return rng.choice(FLOATS)
+    if pick == 2:
+        return rng.choice(NASTY_STRINGS)
+    if pick == 3:
+        return rng.random() < 0.5
+    if pick == 4:
+        return dt.date(2014, 1, 1) + dt.timedelta(days=rng.randrange(0, 400))
+    if pick == 5:
+        return dt.datetime(2014, 3, 1, 12, 30, 45, rng.randrange(0, 1_000_000))
+    return None
+
+
+def gen_expr(rng: random.Random, depth: int = 0):
+    """One random scalar expression, at most ~4 levels deep."""
+    if depth >= 4 or rng.random() < 0.35:
+        pick = rng.randrange(4)
+        if pick == 0:
+            return ColumnRef(rng.choice(IDENTIFIERS))
+        if pick == 1:
+            return ColumnRef(rng.choice(NASTY_STRINGS))
+        if pick == 2:
+            value = _scalar(rng)
+            return Literal(value, LogicalType.INT if value is None else None)
+        values = tuple(
+            v for v in (_scalar(rng) for _ in range(rng.randrange(0, 4))) if v is not None
+        )
+        return Literal(values)
+    pick = rng.randrange(3)
+    if pick == 0:
+        op = rng.choice(CALL_OPS)
+        n_args = 1 if op in ("not", "abs") else 2
+        return Call(op, tuple(gen_expr(rng, depth + 1) for _ in range(n_args)))
+    if pick == 1:
+        return Cast(gen_expr(rng, depth + 1), rng.choice(list(LogicalType)))
+    branches = tuple(
+        (gen_expr(rng, depth + 1), gen_expr(rng, depth + 1))
+        for _ in range(rng.randrange(1, 3))
+    )
+    return CaseWhen(branches, gen_expr(rng, depth + 1))
+
+
+def gen_top(rng: random.Random):
+    """A top-level expression; sometimes an aggregate."""
+    if rng.random() < 0.25:
+        func = rng.choice(sorted(AggExpr.SUPPORTED))
+        if func == "count" and rng.random() < 0.5:
+            return AggExpr("count", None)
+        return AggExpr(func, gen_expr(rng, 1))
+    return gen_expr(rng)
+
+
+def _has_nan(node) -> bool:
+    values = []
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, AggExpr):
+            if item.arg is not None:
+                stack.append(item.arg)
+            continue
+        if isinstance(item, Literal):
+            values.append(item.value)
+            continue
+        stack.extend(item.children())
+    for v in values:
+        for scalar in v if isinstance(v, tuple) else (v,):
+            if isinstance(scalar, float) and math.isnan(scalar):
+                return True
+    return False
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_fuzz_round_trip(seed):
+    rng = random.Random(f"sexpr-fuzz|{seed}")
+    for _ in range(300):
+        tree = gen_top(rng)
+        text = to_sexpr(tree)
+        parsed = parse_sexpr(text, allow_agg=True)
+        assert to_sexpr(parsed) == text, f"fixpoint failed for {text!r}"
+        if not _has_nan(tree):
+            assert parsed == tree, f"tree changed through {text!r}"
+
+
+class TestNonFiniteFloats:
+    """Regression: repr(inf) used to read back as ColumnRef('inf')."""
+
+    @pytest.mark.parametrize("value", [float("inf"), float("-inf")])
+    def test_infinities_round_trip(self, value):
+        parsed = parse_sexpr(to_sexpr(Literal(value)))
+        assert isinstance(parsed, Literal)
+        assert parsed.value == value
+
+    def test_nan_round_trips_as_nan(self):
+        parsed = parse_sexpr(to_sexpr(Literal(float("nan"))))
+        assert isinstance(parsed, Literal)
+        assert math.isnan(parsed.value)
+
+    def test_non_finite_inside_list(self):
+        lit = Literal((1.0, float("inf"), float("-inf")))
+        parsed = parse_sexpr(to_sexpr(lit))
+        assert parsed == lit
+
+    def test_inf_column_still_a_column(self):
+        # A column genuinely named "inf" keeps reading back as a column.
+        parsed = parse_sexpr(to_sexpr(ColumnRef("inf")))
+        assert parsed == ColumnRef("inf")
+
+
+class TestHostileStrings:
+    @pytest.mark.parametrize("name", NASTY_STRINGS)
+    def test_column_names_round_trip(self, name):
+        parsed = parse_sexpr(to_sexpr(ColumnRef(name)))
+        assert parsed == ColumnRef(name)
+
+    @pytest.mark.parametrize("value", NASTY_STRINGS)
+    def test_string_literals_round_trip(self, value):
+        parsed = parse_sexpr(to_sexpr(Literal(value)))
+        assert parsed == Literal(value)
