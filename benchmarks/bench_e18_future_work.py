@@ -80,7 +80,11 @@ def test_e18b_order_preserving_merge(benchmark):
         ' (distance asc)) (select (> delay 10) (scan "Extract.flights")))'
     )
     base = dict(max_dop=8, min_work_per_fraction=16_000)
-    exchange_sort = engine.plan(query, options=PlannerOptions(**base))
+    # Merge is default-on now; this ablation forces the legacy close-with-
+    # Exchange-then-serial-Sort arm explicitly.
+    exchange_sort = engine.plan(
+        query, options=PlannerOptions(**base, enable_order_preserving_merge=False)
+    )
     merge_sort = engine.plan(
         query, options=PlannerOptions(**base, enable_order_preserving_merge=True)
     )

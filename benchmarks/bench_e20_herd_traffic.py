@@ -1,0 +1,170 @@
+"""E20 (§3.2): herd traffic against a shared VizServer, coalescing on/off.
+
+"An extreme example of this is seen in Tableau Public ... The
+user-generated traffic is saturated by initial load requests, as many
+viewers just read content with the initial state of a dashboard and make
+further interactions rarely."
+
+Caches only help *after* the first query completes; a cold herd arrives
+before that. K viewer threads replay a seeded Zipf traffic stream
+(loads-only, per the quote) against a 2-node VizServer from a cold start,
+with single-flight coalescing off and on. Measured per arm: backend
+query count, coalesce joins, and p50/p95 request latency. Coalescing
+must cut backend queries >= 2x at K=8 while every viewer's rendered
+zones stay byte-identical across arms.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.connectors import SimDbDataSource
+from repro.connectors.simdb import ServerProfile
+from repro.core.cache.distributed import KeyValueStore
+from repro.core.pipeline import PipelineOptions
+from repro.sim.metrics import Recorder
+from repro.server import VizServer
+from repro.workloads import (
+    TrafficGenerator,
+    fig1_dashboard,
+    fig2_dashboard,
+    flights_model,
+    generate_flights,
+)
+
+from .conftest import record
+
+HERD_ROWS = 8_000
+#: Inflated per-unit work (see conftest.BENCH_WORK_UNIT_S) so the cold
+#: render is slow enough that a herd genuinely overlaps it.
+HERD_WORK_UNIT_S = 1.0e-6
+VISITS_PER_VIEWER = 3
+VIEWER_COUNTS = (2, 8)
+
+DATASET = generate_flights(HERD_ROWS, seed=7)
+
+
+def _traffic(n_viewers: int):
+    """A seeded loads-only stream: Zipf dashboard popularity, many users."""
+    generator = TrafficGenerator(
+        [fig1_dashboard(), fig2_dashboard()],
+        n_users=n_viewers * 8,  # mostly-distinct viewers: no session reuse
+        seed=77,
+        interaction_rate=0.0,
+    )
+    return list(generator.events(n_viewers * VISITS_PER_VIEWER))
+
+
+def _run_arm(n_viewers: int, *, coalescing: bool):
+    """Drive one cold server with K viewer threads; return measurements."""
+    db = DATASET.load_into_simdb(
+        ServerProfile(
+            name="public", workers=4, work_unit_time_s=HERD_WORK_UNIT_S
+        ),
+        name="public",
+    )
+    server = VizServer(
+        2,
+        SimDbDataSource(db),
+        flights_model(),
+        store=KeyValueStore(latency_s=0.0),
+        options=PipelineOptions(enable_coalescing=coalescing),
+    )
+    server.register_dashboard(fig1_dashboard())
+    server.register_dashboard(fig2_dashboard())
+
+    events = _traffic(n_viewers)
+    barrier = threading.Barrier(n_viewers)
+
+    def viewer(tid: int):
+        latencies, renders = [], []
+        barrier.wait()  # the herd arrives together, cold
+        for event in events[tid::n_viewers]:
+            started = time.perf_counter()
+            _node, result = server.load(event.user, event.dashboard)
+            latencies.append(time.perf_counter() - started)
+            renders.append((event.dashboard, result))
+        return latencies, renders
+
+    with ThreadPoolExecutor(max_workers=n_viewers) as tp:
+        outcomes = list(tp.map(viewer, range(n_viewers)))
+
+    latencies = sorted(x for lat, _r in outcomes for x in lat)
+    renders = [item for _lat, r in outcomes for item in r]
+    summary = server.cache_summary()
+    return {
+        "backend_queries": db.stats.queries,
+        "coalesce_joins": summary["coalesce_joins"],
+        "p50_ms": latencies[len(latencies) // 2] * 1000,
+        "p95_ms": latencies[int(len(latencies) * 0.95)] * 1000,
+        "renders": renders,
+    }
+
+
+def _reference_tables(renders):
+    """First render per dashboard; also checks intra-arm consistency."""
+    reference: dict[str, dict] = {}
+    for dashboard, result in renders:
+        assert not result.degraded
+        zones = reference.setdefault(dashboard, result.zone_tables)
+        assert zones.keys() == result.zone_tables.keys()
+        for zone, table in result.zone_tables.items():
+            assert table.equals_unordered(zones[zone]), (
+                f"{dashboard}/{zone}: viewers saw different data"
+            )
+    return reference
+
+
+def test_e20_herd_traffic(benchmark):
+    recorder = Recorder(
+        "E20: K-viewer cold herd on a 2-node VizServer (loads-only Zipf)",
+        columns=[
+            "coalescing",
+            "viewers",
+            "backend_queries",
+            "coalesce_joins",
+            "p50_ms",
+            "p95_ms",
+        ],
+    )
+    arms: dict[tuple[bool, int], dict] = {}
+    for coalescing in (False, True):
+        for n_viewers in VIEWER_COUNTS:
+            arm = _run_arm(n_viewers, coalescing=coalescing)
+            arms[(coalescing, n_viewers)] = arm
+            recorder.add(
+                "on" if coalescing else "off",
+                n_viewers,
+                arm["backend_queries"],
+                arm["coalesce_joins"],
+                arm["p50_ms"],
+                arm["p95_ms"],
+            )
+    record("e20_herd_traffic", recorder)
+
+    off, on = arms[(False, 8)], arms[(True, 8)]
+    # The herd coalesced: followers joined in-flight leaders...
+    assert on["coalesce_joins"] > 0
+    assert arms[(False, 2)]["coalesce_joins"] == 0
+    # ...cutting backend queries by >= 2x at K=8...
+    assert off["backend_queries"] >= 2 * on["backend_queries"], (
+        f"expected >=2x cut, got {off['backend_queries']} -> "
+        f"{on['backend_queries']}"
+    )
+    # ...with every viewer (and both arms) seeing identical zones.
+    reference_on = _reference_tables(on["renders"])
+    reference_off = _reference_tables(off["renders"])
+    assert reference_on.keys() == reference_off.keys()
+    for dashboard, zones in reference_on.items():
+        for zone, table in zones.items():
+            assert table.equals_unordered(reference_off[dashboard][zone]), (
+                f"{dashboard}/{zone}: coalescing changed the answer"
+            )
+
+    # Representative timed path: a fresh tiny herd, coalescing on.
+    result = benchmark.pedantic(
+        lambda: _run_arm(2, coalescing=True)["p50_ms"], rounds=2, iterations=1
+    )
+    assert result > 0.0

@@ -80,10 +80,16 @@ def main(argv: list[str] | None = None) -> int:
             targets.extend(str(m) for m in matches)
     if patterns:
         candidates = targets or [str(p) for p in sorted(BENCH_DIR.glob("bench_*.py"))]
+
+        def matches(stem: str, pattern: str) -> bool:
+            # A bare experiment id ("e20") selects that experiment; globs
+            # ("e2*") pass through to fnmatch unchanged.
+            return fnmatch.fnmatch(stem, pattern) or stem.split("_")[0] == pattern
+
         targets = [
             t
             for t in candidates
-            if any(fnmatch.fnmatch(Path(t).stem[len("bench_"):], p) for p in patterns)
+            if any(matches(Path(t).stem[len("bench_"):], p) for p in patterns)
         ]
         if not targets:
             print(f"no benchmark matches --filter {patterns!r}", file=sys.stderr)

@@ -10,11 +10,15 @@
   local/remote partition of a query batch (3.3, Figure 3).
 * ``repro.core.executor`` — concurrent execution of remote queries over
   pooled connections (3.5).
+* ``repro.core.coalesce`` — single-flight coalescing of concurrent
+  identical (or subsumable) queries: the herd-traffic answer to 3.2's
+  "saturated by initial load requests".
 * ``repro.core.pipeline`` — the end-to-end batch pipeline gluing the
   above together.
 """
 
 from .cache.intelligent import IntelligentCache, enrich_spec, match_specs
+from .coalesce import CoalesceStats, CoalesceTimeoutError, SingleFlightRegistry
 from .cache.index import CacheIndex
 from .cache.literal import LiteralCache
 from .cache.eviction import EvictionPolicy
@@ -43,4 +47,7 @@ __all__ = [
     "BatchResult",
     "CacheIndex",
     "InteractionPrefetcher",
+    "SingleFlightRegistry",
+    "CoalesceStats",
+    "CoalesceTimeoutError",
 ]

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import io
 import threading
-import time
 
+from ...faults.clock import SYSTEM_CLOCK, Clock
 from ...tde.storage.filepack import pack_database, unpack_database
 from ...tde.storage.schema import Database
 from ...tde.storage.table import Table
@@ -27,11 +27,24 @@ from .eviction import CacheEntry, EvictionPolicy
 
 
 class KeyValueStore:
-    """Redis-like shared store with modeled round-trip latency."""
+    """Redis-like shared store with modeled round-trip latency.
 
-    def __init__(self, *, latency_s: float = 0.0008, per_mb_s: float = 0.004):
+    Round trips sleep on an injectable :class:`~repro.faults.clock.Clock`
+    so the distributed-cache tests and E7 can run the same modeled
+    latencies in virtual time (microseconds of wall clock, identical
+    timings every run).
+    """
+
+    def __init__(
+        self,
+        *,
+        latency_s: float = 0.0008,
+        per_mb_s: float = 0.004,
+        clock: Clock | None = None,
+    ):
         self.latency_s = latency_s
         self.per_mb_s = per_mb_s
+        self.clock = clock or SYSTEM_CLOCK
         self._data: dict[str, bytes] = {}
         self._lock = threading.Lock()
         self.gets = 0
@@ -41,7 +54,7 @@ class KeyValueStore:
     def _round_trip(self, payload_bytes: int) -> None:
         delay = self.latency_s + (payload_bytes / 1e6) * self.per_mb_s
         if delay > 0:
-            time.sleep(delay)
+            self.clock.sleep(delay)
 
     def get(self, key: str) -> bytes | None:
         with self._lock:

@@ -42,6 +42,7 @@ from ..tde.storage.table import Table
 from .batch import build_batch_graph
 from .cache.intelligent import IntelligentCache, enrich_spec, match_specs
 from .cache.literal import LiteralCache
+from .coalesce import JoinTicket, SingleFlightRegistry, _Flight
 from .executor import ConcurrentQueryExecutor
 from .fusion import fuse_batch
 from .stale import StaleResultStore
@@ -76,6 +77,15 @@ class PipelineOptions:
     #: Serve last-known-good results (flagged stale) when a source is down.
     serve_stale: bool = True
     stale_max_entries: int = 256
+    #: Single-flight coalescing: concurrent identical queries share one
+    #: execution (leader runs, followers wait on its published result).
+    enable_coalescing: bool = True
+    #: Also join leaders whose in-flight spec *subsumes* the request
+    #: (proved by ``match_specs``); the follower answers with post-ops.
+    coalesce_subsumption: bool = True
+    #: How long a follower waits on a leader before treating the flight
+    #: as failed and retrying on its own.
+    coalesce_wait_timeout_s: float = 30.0
 
 
 @dataclass
@@ -93,6 +103,12 @@ class BatchResult:
     batch_local: int = 0
     fused_away: int = 0
     literal_hits: int = 0
+    #: Specs answered by waiting on another request's in-flight execution
+    #: (single-flight coalescing) instead of going remote themselves.
+    coalesced_hits: int = 0
+    #: Total seconds this batch spent blocked on in-flight leaders (also
+    #: observed per wait in the ``coalesce.wait_s`` histogram).
+    coalesce_wait_s: float = 0.0
     elapsed_s: float = 0.0
     #: Canonical keys answered from the stale store because their source
     #: failed — the ``stale=True`` flag of a degraded serve.
@@ -133,6 +149,7 @@ class QueryPipeline:
         intelligent_cache: IntelligentCache | None = None,
         literal_cache: LiteralCache | None = None,
         stale_store: StaleResultStore | None = None,
+        coalescer: SingleFlightRegistry | None = None,
         clock=None,
     ):
         self.source = source
@@ -162,6 +179,13 @@ class QueryPipeline:
             StaleResultStore(self.options.stale_max_entries, clock=clock)
             if self.options.serve_stale
             else None
+        )
+        # One registry per source; a VizServer passes the same instance to
+        # every node's pipeline so coalescing works cluster-wide.
+        self.coalescer = coalescer or SingleFlightRegistry(
+            source.name,
+            clock=clock,
+            wait_timeout_s=self.options.coalesce_wait_timeout_s,
         )
         self.executor = ConcurrentQueryExecutor(
             self.pool,
@@ -201,7 +225,20 @@ class QueryPipeline:
                             continue
                     pending.append(spec)
             if pending:
-                self._run_pending(pending, result, reuse_fields)
+                # Phase 0.5: single-flight coalescing across concurrent
+                # batches. Leaders stay pending and execute; followers
+                # wait on an in-flight leader's published result.
+                flights, followers, leaders = self._coalesce_partition(pending)
+                try:
+                    if leaders:
+                        self._run_pending(leaders, result, reuse_fields)
+                finally:
+                    # Resolve every owned flight even on unexpected
+                    # failure — a leader that never publishes would hang
+                    # its followers until their wait timeout.
+                    self._resolve_flights(flights, result)
+                if followers:
+                    self._await_followers(followers, result, reuse_fields)
             result.elapsed_s = time.monotonic() - started
             batch_span.set(
                 remote_queries=result.remote_queries,
@@ -209,11 +246,131 @@ class QueryPipeline:
                 derived_hits=result.derived_hits,
                 fused_away=result.fused_away,
             )
+            if result.coalesced_hits:
+                batch_span.set(
+                    coalesced_hits=result.coalesced_hits,
+                    coalesce_wait_s=round(result.coalesce_wait_s, 6),
+                )
             if result.stale_keys or result.errors:
                 batch_span.set(
                     stale=len(result.stale_keys), failed=len(result.errors)
                 )
         return result
+
+    # ------------------------------------------------------------------ #
+    # Single-flight coalescing (herd traffic, paper 3.2)
+    # ------------------------------------------------------------------ #
+    def _coalesce_partition(
+        self, pending: list[QuerySpec]
+    ) -> tuple[
+        list[tuple[str, _Flight]],
+        list[tuple[QuerySpec, JoinTicket]],
+        list[QuerySpec],
+    ]:
+        """Split pending specs into owned flights, follower joins, leaders."""
+        if not self.options.enable_coalescing:
+            return [], [], pending
+        flights: list[tuple[str, _Flight]] = []
+        followers: list[tuple[QuerySpec, JoinTicket]] = []
+        leaders: list[QuerySpec] = []
+        own_keys: set[str] = set()
+        for spec in pending:
+            # A spec never joins this batch's own flights: intra-batch
+            # derivation is the batch graph's (non-blocking) job.
+            flight, ticket = self.coalescer.lead_or_join(
+                spec,
+                subsume=self.options.coalesce_subsumption,
+                exclude=frozenset(own_keys),
+            )
+            if ticket is not None:
+                followers.append((spec, ticket))
+            else:
+                key = spec.canonical()
+                flights.append((key, flight))
+                own_keys.add(key)
+                leaders.append(spec)
+        return flights, followers, leaders
+
+    def _resolve_flights(
+        self, flights: list[tuple[str, _Flight]], result: BatchResult
+    ) -> None:
+        """Publish each owned flight's outcome to any waiting followers.
+
+        Only *fresh* results are shared. A leader that degraded (stale
+        serve) or failed propagates a :class:`SourceError` so followers
+        retry or degrade independently — a follower never inherits a
+        stale flag it didn't earn from its own stale store.
+        """
+        for key, flight in flights:
+            if key in result.tables and key not in result.stale_keys:
+                self.coalescer.publish(flight, result.tables[key])
+            elif key in result.stale_keys:
+                self.coalescer.fail(
+                    flight,
+                    SourceUnavailableError(
+                        f"leader for {key!r} degraded to a stale serve"
+                    ),
+                )
+            else:
+                self.coalescer.fail(
+                    flight,
+                    SourceUnavailableError(
+                        result.errors.get(key, "leader execution did not produce a result")
+                    ),
+                )
+
+    def _await_followers(
+        self,
+        followers: list[tuple[QuerySpec, JoinTicket]],
+        result: BatchResult,
+        reuse_fields: frozenset[str],
+    ) -> None:
+        """Collect coalesced answers; on leader failure, retry/degrade solo."""
+        retry_specs: list[QuerySpec] = []
+        with obs.span("pipeline.coalesce_wait", followers=len(followers)) as wait_span:
+            for spec, ticket in followers:
+                key = spec.canonical()
+                outcome = ticket.wait(
+                    self.options.coalesce_wait_timeout_s, clock=self.coalescer.clock
+                )
+                result.coalesce_wait_s += outcome.waited_s
+                obs.histogram("coalesce.wait_s").observe(outcome.waited_s)
+                if outcome.ok:
+                    table = outcome.table
+                    if ticket.post_ops:
+                        table = apply_post_ops(table, ticket.post_ops)
+                    result.tables[key] = table
+                    result.coalesced_hits += 1
+                    self._record_good(key, table)
+                    if self.options.enable_intelligent_cache:
+                        # The leader's table is the (possibly wider) answer
+                        # to the leader's spec; remember it locally so the
+                        # next request on this node hits without waiting.
+                        self.intelligent_cache.put(
+                            ticket.flight.spec, outcome.table, cost_s=outcome.waited_s
+                        )
+                else:
+                    obs.counter("coalesce.leader_failures").inc()
+                    if obs.events_enabled():
+                        obs.event(
+                            "coalesce.follower_retry",
+                            "retrying",
+                            "in-flight leader failed "
+                            f"({type(outcome.error).__name__}: {outcome.error}); "
+                            "retrying this spec independently",
+                            spec=key,
+                            leader=ticket.leader_key,
+                        )
+                    retry_specs.append(spec)
+            wait_span.set(
+                coalesced=result.coalesced_hits, retried=len(retry_specs)
+            )
+        if retry_specs:
+            # The independent retry: execute directly (no re-coalescing —
+            # the failed herd must not re-form behind another doomed
+            # leader). _run_pending degrades per spec on repeat failure,
+            # so each follower earns its own stale flag or error.
+            self._run_pending(retry_specs, result, reuse_fields)
 
     # ------------------------------------------------------------------ #
     def _run_pending(
@@ -420,6 +577,20 @@ class QueryPipeline:
                     entry["decision"] = "answered from the intelligent cache"
                     reports[spec.canonical()] = entry
                     continue
+            if self.options.enable_coalescing:
+                ticket = self.coalescer.peek(
+                    spec, subsume=self.options.coalesce_subsumption
+                )
+                if ticket is not None:
+                    entry["coalesce"] = (
+                        "would join the in-flight leader "
+                        f"{ticket.leader_key!r} "
+                        + (
+                            "(subsumed: wait, then derive locally with post-ops)"
+                            if ticket.subsumed
+                            else "(identical query: wait for its result)"
+                        )
+                    )
             reports[spec.canonical()] = entry
             pending.append(spec)
         if self.options.enable_batch_graph and len(pending) > 1:

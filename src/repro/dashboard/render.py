@@ -11,6 +11,7 @@ new market eliminates the stale AA carrier selection.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -63,7 +64,16 @@ class RenderResult:
 
 
 class DashboardSession:
-    """One user's stateful session with a dashboard."""
+    """One user's stateful session with a dashboard.
+
+    Sessions are safe to drive from multiple threads: every interaction
+    and render runs under the session's reentrant ``lock``, so session
+    state (selections, rendered zone tables) is only ever mutated by one
+    request at a time. Distinct sessions render fully in parallel — the
+    herd-traffic case is thousands of *different* users loading the same
+    dashboard, and those requests coalesce at the pipeline layer instead
+    of serializing here.
+    """
 
     def __init__(self, dashboard: Dashboard, pipeline: QueryPipeline):
         self.dashboard = dashboard
@@ -71,6 +81,9 @@ class DashboardSession:
         self.selections: dict[str, tuple[Any, ...]] = {}
         self.zone_tables: dict[str, Table] = {}
         self._rendered_specs: dict[str, str] = {}
+        #: Reentrant so a server can atomically swap ``pipeline`` and
+        #: render without deadlocking against the render's own locking.
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Interactions
@@ -81,12 +94,14 @@ class DashboardSession:
             raise WorkloadError(f"no zone {zone_name!r}")
         if not self.dashboard.actions_from(zone_name):
             raise WorkloadError(f"zone {zone_name!r} has no outgoing actions")
-        self.selections[zone_name] = tuple(values)
-        return self.render()
+        with self.lock:
+            self.selections[zone_name] = tuple(values)
+            return self.render()
 
     def clear_selection(self, zone_name: str) -> RenderResult:
-        self.selections.pop(zone_name, None)
-        return self.render()
+        with self.lock:
+            self.selections.pop(zone_name, None)
+            return self.render()
 
     # ------------------------------------------------------------------ #
     # Rendering
@@ -101,7 +116,9 @@ class DashboardSession:
         return zone.spec(self.dashboard.datasource, tuple(extra))
 
     def render(self) -> RenderResult:
-        with obs.span("dashboard.render", dashboard=self.dashboard.name) as render_span:
+        with self.lock, obs.span(
+            "dashboard.render", dashboard=self.dashboard.name
+        ) as render_span:
             result = self._render()
             render_span.set(
                 iterations=result.iterations,

@@ -80,7 +80,12 @@ class TdeCluster:
                 node = self.nodes[self._rr % len(self.nodes)]
                 self._rr += 1
             else:
-                node = min(self.nodes, key=lambda n: n.in_flight)
+                # Ties on in_flight break toward the node that has served
+                # least, so an idle cluster still spreads instead of
+                # hammering whichever node ``min`` sees first.
+                node = min(
+                    self.nodes, key=lambda n: (n.in_flight, n.queries_served)
+                )
             node.in_flight += 1
             return node
 
@@ -94,6 +99,11 @@ class TdeCluster:
                 node.in_flight -= 1
                 node.queries_served += 1
         return node.node_id, result
+
+    def in_flight_snapshot(self) -> list[int]:
+        """Momentary per-node in-flight counts (consistent snapshot)."""
+        with self._lock:
+            return [n.in_flight for n in self.nodes]
 
     def served_per_node(self) -> list[int]:
         return [n.queries_served for n in self.nodes]

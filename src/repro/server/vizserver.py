@@ -20,6 +20,7 @@ import time
 from .. import obs
 from ..core.cache.distributed import DistributedQueryCache, KeyValueStore
 from ..core.cache.eviction import EvictionPolicy
+from ..core.coalesce import SingleFlightRegistry
 from ..core.pipeline import PipelineOptions, QueryPipeline
 from ..dashboard.model import Dashboard
 from ..dashboard.render import DashboardSession, RenderResult
@@ -56,6 +57,7 @@ class ServerNode:
         *,
         options: PipelineOptions | None = None,
         use_l1: bool = True,
+        coalescer: SingleFlightRegistry | None = None,
     ):
         self.node_id = node_id
         self.distributed = DistributedQueryCache(
@@ -66,6 +68,7 @@ class ServerNode:
             model,
             options=options,
             literal_cache=_DistributedLiteralCache(self.distributed),
+            coalescer=coalescer,
         )
         self.requests_handled = 0
 
@@ -86,8 +89,20 @@ class VizServer:
         if n_nodes < 1:
             raise ServerError("VizServer needs at least one node")
         self.store = store or KeyValueStore()
+        # One single-flight registry for the whole cluster: a herd of
+        # identical initial loads coalesces across nodes, not just within
+        # the node that happened to serve the first request.
+        self.coalescer = SingleFlightRegistry(getattr(source, "name", "source"))
         self.nodes = [
-            ServerNode(f"node{i}", source, model, self.store, options=options, use_l1=use_l1)
+            ServerNode(
+                f"node{i}",
+                source,
+                model,
+                self.store,
+                options=options,
+                use_l1=use_l1,
+                coalescer=self.coalescer,
+            )
             for i in range(n_nodes)
         ]
         self._sessions: dict[tuple[str, str], DashboardSession] = {}
@@ -97,7 +112,8 @@ class VizServer:
 
     # ------------------------------------------------------------------ #
     def register_dashboard(self, dashboard: Dashboard) -> None:
-        self._dashboards[dashboard.name] = dashboard
+        with self._lock:
+            self._dashboards[dashboard.name] = dashboard
 
     def _route(self) -> ServerNode:
         with self._lock:
@@ -106,29 +122,34 @@ class VizServer:
             node.requests_handled += 1
             return node
 
-    def _session(self, user: str, dashboard_name: str, node: ServerNode) -> DashboardSession:
+    def _session(self, user: str, dashboard_name: str) -> DashboardSession:
         key = (user, dashboard_name)
         with self._lock:
             session = self._sessions.get(key)
             if session is None:
                 if dashboard_name not in self._dashboards:
                     raise ServerError(f"unknown dashboard {dashboard_name!r}")
-                session = DashboardSession(self._dashboards[dashboard_name], node.pipeline)
+                session = DashboardSession(
+                    self._dashboards[dashboard_name], self.nodes[0].pipeline
+                )
                 self._sessions[key] = session
-        # Any node may serve any request; the session state is shared, the
-        # pipeline (and its caches) is the serving node's.
-        session.pipeline = node.pipeline
         return session
 
     # ------------------------------------------------------------------ #
     def load(self, user: str, dashboard_name: str) -> tuple[str, RenderResult]:
         node = self._route()
-        session = self._session(user, dashboard_name, node)
+        session = self._session(user, dashboard_name)
         started = time.monotonic()
         with obs.span(
             "vizserver.request", op="load", node=node.node_id, dashboard=dashboard_name
         ) as sp:
-            result = session.render()
+            # Any node may serve any request; the session state is shared,
+            # the pipeline (and its caches) is the serving node's. The
+            # swap happens under the session lock so a concurrent request
+            # for the same session never sees a mid-render pipeline change.
+            with session.lock:
+                session.pipeline = node.pipeline
+                result = session.render()
             self._note_degradation(sp, result)
         obs.histogram("vizserver.request_s").observe(time.monotonic() - started)
         return node.node_id, result
@@ -137,12 +158,14 @@ class VizServer:
         self, user: str, dashboard_name: str, zone: str, values
     ) -> tuple[str, RenderResult]:
         node = self._route()
-        session = self._session(user, dashboard_name, node)
+        session = self._session(user, dashboard_name)
         started = time.monotonic()
         with obs.span(
             "vizserver.request", op="select", node=node.node_id, dashboard=dashboard_name
         ) as sp:
-            result = session.select(zone, values)
+            with session.lock:
+                session.pipeline = node.pipeline
+                result = session.select(zone, values)
             self._note_degradation(sp, result)
         obs.histogram("vizserver.request_s").observe(time.monotonic() - started)
         return node.node_id, result
@@ -170,9 +193,10 @@ class VizServer:
         what), plus the backend engine's EXPLAIN of each remote plan.
         """
         node = self._route()
-        session = self._session(user, dashboard_name, node)
-        zones = session.dashboard.queryable_zones()
-        zone_specs = [(zone.name, session.effective_spec(zone)) for zone in zones]
+        session = self._session(user, dashboard_name)
+        with session.lock:
+            zones = session.dashboard.queryable_zones()
+            zone_specs = [(zone.name, session.effective_spec(zone)) for zone in zones]
         reports = node.pipeline.explain_batch(
             [spec for _name, spec in zone_specs], analyze=analyze
         )
@@ -217,7 +241,11 @@ class VizServer:
             for node_id, snap in nodes.items()
             if snap["breaker"] is not None and snap["breaker"]["state"] != "closed"
         ]
-        return {"nodes": nodes, "degraded_nodes": degraded}
+        return {
+            "nodes": nodes,
+            "degraded_nodes": degraded,
+            "coalesce": self.coalescer.snapshot(),
+        }
 
     # ------------------------------------------------------------------ #
     def cache_summary(self) -> dict:
@@ -231,4 +259,6 @@ class VizServer:
             "remote_queries": sum(
                 n.pipeline.executor.remote_queries_sent for n in self.nodes
             ),
+            "coalesce_leads": self.coalescer.stats.leads,
+            "coalesce_joins": self.coalescer.stats.joins,
         }

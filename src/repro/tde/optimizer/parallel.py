@@ -39,9 +39,10 @@ class PlannerOptions:
     enable_local_global_agg: bool = True
     enable_range_partition_agg: bool = True
     enable_streaming_agg: bool = True
-    #: Future-work feature (paper 4.2.2): sort fragments in parallel and
-    #: merge order-preservingly instead of closing with Exchange + Sort.
-    enable_order_preserving_merge: bool = False
+    #: Paper 4.2.2 future work, now default-on (validated by E18b): sort
+    #: fragments in parallel and merge order-preservingly instead of
+    #: closing with Exchange + Sort.
+    enable_order_preserving_merge: bool = True
     rle_selectivity_threshold: float = 0.35
 
     def serial(self) -> "PlannerOptions":

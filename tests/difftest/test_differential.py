@@ -142,3 +142,50 @@ def test_all_optimizations_together(specs, oracle):
         PipelineOptions(),  # everything on, defaults
         "all-on",
     )
+
+
+def test_concurrent_herd_preserves_answers(specs, oracle):
+    """A thread herd over one pipeline (single-flight coalescing live)
+    still answers every spec byte-identically to the oracle."""
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    herd_specs = specs[:48]
+    pipeline = QueryPipeline(
+        make_source(),
+        make_model(),
+        options=PipelineOptions(
+            enable_intelligent_cache=False,  # force the coalesce path
+            enable_literal_cache=False,
+        ),
+    )
+    n_threads = 6
+    barrier = threading.Barrier(n_threads)
+
+    def viewer(_tid: int):
+        # Every thread requests the same batches in the same order, so
+        # most answers arrive by joining another thread's flight.
+        barrier.wait()
+        out = []
+        for start in range(0, len(herd_specs), BATCH):
+            out.append(pipeline.run_batch(herd_specs[start : start + BATCH]))
+        return out
+
+    try:
+        with ThreadPoolExecutor(max_workers=n_threads) as tp:
+            per_thread = list(tp.map(viewer, range(n_threads)))
+    finally:
+        pipeline.close()
+
+    coalesced = 0
+    for results in per_thread:
+        for start, result in zip(range(0, len(herd_specs), BATCH), results):
+            assert result.ok, f"herd: unexpected errors {result.errors}"
+            coalesced += result.coalesced_hits
+            for spec in herd_specs[start : start + BATCH]:
+                assert_tables_equal(
+                    result.table_for(spec),
+                    oracle[spec.canonical()],
+                    context=f"herd: {spec.canonical()}",
+                )
+    assert coalesced > 0, "the herd never coalesced"
