@@ -6,6 +6,7 @@ Usage (from the repository root)::
     python benchmarks/run_all.py e1 e6            # a subset, by id
     python benchmarks/run_all.py --filter 'e1*'   # a subset, by glob
     python benchmarks/run_all.py --json           # machine-readable summary
+    python benchmarks/run_all.py --list           # known experiment ids
 
 Each experiment prints its paper-shaped series, writes the aligned-text
 table to ``benchmarks/_results/<exp>.txt`` and the machine-readable
@@ -27,6 +28,25 @@ import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
+
+
+def list_experiments(bench_dir: Path = BENCH_DIR) -> list[tuple[str, str]]:
+    """``(experiment id, experiment name)`` for every ``bench_*.py``.
+
+    The id is what the bare-selector and ``--filter`` forms accept
+    ("e20"); the name is the full ``<id>_<slug>`` stem that results and
+    baselines are keyed by ("e20_herd_traffic").
+    """
+    out = []
+    for path in bench_dir.glob("bench_*.py"):
+        stem = path.stem[len("bench_"):]
+        out.append((stem.split("_")[0], stem))
+
+    def numeric(item: tuple[str, str]):
+        digits = "".join(ch for ch in item[0] if ch.isdigit())
+        return (int(digits) if digits else 0, item[0])
+
+    return sorted(out, key=numeric)
 
 
 def _summarize(results_dir: Path, baselines_dir: Path) -> list[dict]:
@@ -56,6 +76,12 @@ def main(argv: list[str] | None = None) -> int:
     import pytest
 
     argv = list(sys.argv[1:] if argv is None else argv)
+    if "--list" in argv:
+        experiments = list_experiments()
+        width = max(len(exp_id) for exp_id, _name in experiments)
+        for exp_id, name in experiments:
+            print(f"{exp_id:<{width}}  {name}")
+        return 0
     emit_json = "--json" in argv
     argv = [a for a in argv if a != "--json"]
     patterns: list[str] = []

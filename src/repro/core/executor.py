@@ -56,6 +56,11 @@ class ExecutionOutcome:
     from_literal_cache: bool = False
     error: SourceError | None = None
     attempts: int = 1
+    #: Seconds of ``elapsed_s`` spent waiting to check a connection out
+    #: of the pool (summed across attempts). The request ledger charges
+    #: this to ``queue``, not ``execute`` — pool contention is admission
+    #: pressure, not backend work.
+    checkout_wait_s: float = 0.0
 
     @property
     def failed(self) -> bool:
@@ -79,6 +84,10 @@ class ConcurrentQueryExecutor:
         self.literal_cache = literal_cache
         self.retry = retry or NO_RETRY
         self.clock = clock
+        # All outcome timings read the injected clock so a request
+        # ledger (same clock) can subtract them without skew — virtual
+        # time included.
+        self._now = clock.monotonic if clock is not None else time.monotonic
         self.remote_queries_sent = 0
         self._stats_lock = threading.Lock()
 
@@ -110,14 +119,15 @@ class ConcurrentQueryExecutor:
         return outcome
 
     def _run_one(self, compiled: CompiledQuery) -> ExecutionOutcome:
-        started = time.monotonic()
+        started = self._now()
         if self.literal_cache is not None:
             cached = self.literal_cache.get(compiled.literal_key)
             if cached is not None:
                 result = apply_post_ops(cached, compiled.post_ops)
-                return ExecutionOutcome(result, time.monotonic() - started, True)
+                return ExecutionOutcome(result, self._now() - started, True)
 
         attempts = [0]
+        checkout = [0.0]
 
         def attempt() -> Table:
             attempts[0] += 1
@@ -125,7 +135,9 @@ class ConcurrentQueryExecutor:
             # The pool's context manager discards the member (feeding the
             # breaker) when this attempt dies with a transient error, so
             # the next attempt starts from a fresh connection.
+            t_checkout = self._now()
             with self.pool.connection(prefer_temp_table=prefer) as conn:
+                checkout[0] += self._now() - t_checkout
                 for name, table in compiled.temp_tables.items():
                     if not conn.has_temp_table(name):
                         conn.create_temp_table(name, table)
@@ -140,14 +152,17 @@ class ConcurrentQueryExecutor:
         )
         with self._stats_lock:
             self.remote_queries_sent += 1
-        elapsed = time.monotonic() - started
+        elapsed = self._now() - started
         if self.literal_cache is not None:
             self.literal_cache.put(
                 compiled.literal_key, compiled.datasource, raw, cost_s=elapsed
             )
         result = apply_post_ops(raw, compiled.post_ops)
         return ExecutionOutcome(
-            result, time.monotonic() - started, attempts=attempts[0]
+            result,
+            self._now() - started,
+            attempts=attempts[0],
+            checkout_wait_s=checkout[0],
         )
 
     def run_batch(

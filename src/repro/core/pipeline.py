@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..connectors.pool import ConnectionPool
+from ..obs.ledger import LedgerBook, RequestLedger
 from ..errors import SourceError, SourceUnavailableError
 from ..faults.breaker import CircuitBreaker
 from ..faults.retry import RetryPolicy
@@ -86,6 +87,11 @@ class PipelineOptions:
     #: How long a follower waits on a leader before treating the flight
     #: as failed and retrying on its own.
     coalesce_wait_timeout_s: float = 30.0
+    #: Attach a :class:`~repro.obs.ledger.RequestLedger` to every spec in
+    #: every batch (servers with telemetry force this on). Ledgers are
+    #: also built whenever global observability is enabled; with both
+    #: off, the ledger path allocates nothing.
+    enable_ledger: bool = False
 
 
 @dataclass
@@ -116,6 +122,12 @@ class BatchResult:
     #: Canonical key -> error description for specs that could not be
     #: answered at all (no fresh result, no stale fallback).
     errors: dict[str, str] = field(default_factory=dict)
+    #: Canonical key -> per-request latency attribution (only populated
+    #: when ledgers are enabled; see ``PipelineOptions.enable_ledger``).
+    ledgers: dict[str, RequestLedger] = field(default_factory=dict)
+
+    def ledger_for(self, spec: QuerySpec) -> RequestLedger | None:
+        return self.ledgers.get(spec.canonical())
 
     def table_for(self, spec: QuerySpec) -> Table:
         key = spec.canonical()
@@ -156,6 +168,10 @@ class QueryPipeline:
         self.model = model
         self.options = options or PipelineOptions()
         self.clock = clock
+        # Ledger charges, executor timings and batch elapsed all read
+        # this one monotonic source, so phase sums stay conserved under
+        # a virtual clock exactly as under the system clock.
+        self._ledger_now = clock.monotonic if clock is not None else time.monotonic
         if pool is None:
             breaker = None
             if self.options.enable_breaker:
@@ -203,7 +219,12 @@ class QueryPipeline:
     def run_batch(
         self, specs: list[QuerySpec], *, reuse_fields: frozenset[str] = frozenset()
     ) -> BatchResult:
-        started = time.monotonic()
+        book = (
+            LedgerBook(self._ledger_now)
+            if (self.options.enable_ledger or obs.enabled())
+            else None
+        )
+        started = book.t0 if book is not None else self._ledger_now()
         result = BatchResult({})
         with obs.span("pipeline.run_batch", specs=len(specs)) as batch_span:
             ordered: list[QuerySpec] = []
@@ -217,11 +238,18 @@ class QueryPipeline:
             with obs.span("pipeline.cache_probe", specs=len(ordered)):
                 for spec in ordered:
                     if self.options.enable_intelligent_cache:
+                        t_probe = book.now() if book is not None else 0.0
                         cached = self.intelligent_cache.lookup(spec)
+                        if book is not None:
+                            book.charge(
+                                spec.canonical(), "cache_probe", book.now() - t_probe
+                            )
                         if cached is not None:
                             self._record_good(spec.canonical(), cached)
                             result.tables[spec.canonical()] = cached
                             result.cache_hits += 1
+                            if book is not None:
+                                book.finish(spec.canonical(), "cache_hit")
                             continue
                     pending.append(spec)
             if pending:
@@ -231,15 +259,17 @@ class QueryPipeline:
                 flights, followers, leaders = self._coalesce_partition(pending)
                 try:
                     if leaders:
-                        self._run_pending(leaders, result, reuse_fields)
+                        self._run_pending(leaders, result, reuse_fields, book)
                 finally:
                     # Resolve every owned flight even on unexpected
                     # failure — a leader that never publishes would hang
                     # its followers until their wait timeout.
                     self._resolve_flights(flights, result)
                 if followers:
-                    self._await_followers(followers, result, reuse_fields)
-            result.elapsed_s = time.monotonic() - started
+                    self._await_followers(followers, result, reuse_fields, book)
+            result.elapsed_s = self._ledger_now() - started
+            if book is not None:
+                result.ledgers = book.close()
             batch_span.set(
                 remote_queries=result.remote_queries,
                 cache_hits=result.cache_hits,
@@ -324,18 +354,26 @@ class QueryPipeline:
         followers: list[tuple[QuerySpec, JoinTicket]],
         result: BatchResult,
         reuse_fields: frozenset[str],
+        book: LedgerBook | None = None,
     ) -> None:
         """Collect coalesced answers; on leader failure, retry/degrade solo."""
         retry_specs: list[QuerySpec] = []
         with obs.span("pipeline.coalesce_wait", followers=len(followers)) as wait_span:
             for spec, ticket in followers:
                 key = spec.canonical()
+                t_wait = book.now() if book is not None else 0.0
                 outcome = ticket.wait(
                     self.options.coalesce_wait_timeout_s, clock=self.coalescer.clock
                 )
+                if book is not None:
+                    # Charged from the book's own clock (not the registry's
+                    # ``waited_s``) so the conservation invariant holds even
+                    # when the two run on different clocks.
+                    book.charge(key, "coalesce_wait", book.now() - t_wait)
                 result.coalesce_wait_s += outcome.waited_s
                 obs.histogram("coalesce.wait_s").observe(outcome.waited_s)
                 if outcome.ok:
+                    t_post = book.now() if book is not None else 0.0
                     table = outcome.table
                     if ticket.post_ops:
                         table = apply_post_ops(table, ticket.post_ops)
@@ -349,6 +387,9 @@ class QueryPipeline:
                         self.intelligent_cache.put(
                             ticket.flight.spec, outcome.table, cost_s=outcome.waited_s
                         )
+                    if book is not None:
+                        book.charge(key, "post_ops", book.now() - t_post)
+                        book.finish(key, "coalesced")
                 else:
                     obs.counter("coalesce.leader_failures").inc()
                     if obs.events_enabled():
@@ -370,7 +411,7 @@ class QueryPipeline:
             # the failed herd must not re-form behind another doomed
             # leader). _run_pending degrades per spec on repeat failure,
             # so each follower earns its own stale flag or error.
-            self._run_pending(retry_specs, result, reuse_fields)
+            self._run_pending(retry_specs, result, reuse_fields, book)
 
     # ------------------------------------------------------------------ #
     def _run_pending(
@@ -378,7 +419,9 @@ class QueryPipeline:
         pending: list[QuerySpec],
         result: BatchResult,
         reuse_fields: frozenset[str] = frozenset(),
+        book: LedgerBook | None = None,
     ) -> None:
+        t_analysis = book.now() if book is not None else 0.0
         # Phase 1: batch analysis — partition into remote and local.
         with obs.span("pipeline.batch_graph", pending=len(pending)) as graph_span:
             if self.options.enable_batch_graph and len(pending) > 1:
@@ -411,6 +454,13 @@ class QueryPipeline:
                     externalize_threshold=self.options.externalize_threshold,
                 )
                 to_send.append((fq, send_spec, compiled))
+        if book is not None:
+            # Batch analysis, fusion and compilation all happened while
+            # every remote member waited: each gets the full duration.
+            analysis_s = book.now() - t_analysis
+            for fq in fused:
+                for member in fq.members:
+                    book.charge(member.canonical(), "compile", analysis_s)
         with obs.span("pipeline.remote_execution", queries=len(to_send)):
             outcomes = self.executor.run_batch(
                 [c for _fq, _s, c in to_send],
@@ -424,7 +474,7 @@ class QueryPipeline:
                     # The whole fused query is gone; degrade each member
                     # independently (stale serve or per-spec error).
                     for member in fq.members:
-                        self._degrade(member.canonical(), outcome.error, result)
+                        self._degrade(member.canonical(), outcome.error, result, book)
                     continue
                 result.remote_queries += 0 if outcome.from_literal_cache else 1
                 result.literal_hits += 1 if outcome.from_literal_cache else 0
@@ -435,13 +485,27 @@ class QueryPipeline:
                 sent_key = send_spec.canonical()
                 for member in fq.members:
                     key = member.canonical()
+                    if book is not None:
+                        # Pool checkout is admission pressure (queue);
+                        # the rest of the outcome's elapsed is backend
+                        # execution — both on the executor's clock, which
+                        # is this book's clock.
+                        book.charge(key, "queue", outcome.checkout_wait_s)
+                        book.charge(
+                            key,
+                            "execute",
+                            max(outcome.elapsed_s - outcome.checkout_wait_s, 0.0),
+                        )
+                    t_member = book.now() if book is not None else 0.0
                     answer = None
+                    from_cache = False
                     if self.options.enable_intelligent_cache:
                         answer = self.intelligent_cache.lookup(member)
                         if answer is not None and key != sent_key:
                             # Derived from the cached (wider) result, not a
                             # re-read of the member's own remote fetch.
                             result.derived_hits += 1
+                            from_cache = True
                     if answer is None:
                         # Derive directly from the fetched (possibly enriched)
                         # result: enrichment only widens, so a match must exist.
@@ -454,6 +518,12 @@ class QueryPipeline:
                             )
                     self._record_good(key, answer)
                     result.tables[key] = answer
+                    if book is not None:
+                        book.charge(key, "post_ops", book.now() - t_member)
+                        if key == sent_key or len(fq.members) == 1:
+                            book.finish(key, "fresh")
+                        else:
+                            book.finish(key, "derived" if from_cache else "fused")
         # Phase 5: answer the local (derivable) nodes.
         with obs.span("pipeline.local_answers", nodes=len(local_nodes)):
             for j, provider_idx in local_nodes:
@@ -461,11 +531,16 @@ class QueryPipeline:
                 key = spec.canonical()
                 if key in result.tables or key in result.errors:
                     continue
+                t_lookup = book.now() if book is not None else 0.0
                 answer = None
+                from_cache = False
                 if self.options.enable_intelligent_cache:
                     answer = self.intelligent_cache.lookup(spec)
                     if answer is not None:
                         result.derived_hits += 1
+                        from_cache = True
+                if book is not None:
+                    book.charge(key, "cache_probe", book.now() - t_lookup)
                 provider = pending[provider_idx]
                 provider_key = provider.canonical()
                 if answer is None:
@@ -481,12 +556,16 @@ class QueryPipeline:
                                 )
                             ),
                             result,
+                            book,
                         )
                         continue
+                    t_derive = book.now() if book is not None else 0.0
                     provider_table = result.tables[provider_key]
                     match = match_specs(provider, spec)
                     assert match is not None  # the graph edge proved this
                     answer = apply_post_ops(provider_table, match.post_ops)
+                    if book is not None:
+                        book.charge(key, "post_ops", book.now() - t_derive)
                     if provider_key in result.stale_keys:
                         # Derived from a stale answer: stale itself.
                         result.stale_keys.add(key)
@@ -494,6 +573,11 @@ class QueryPipeline:
                     self._record_good(key, answer)
                 result.tables[key] = answer
                 result.batch_local += 1
+                if book is not None:
+                    if key in result.stale_keys:
+                        book.finish(key, "stale")
+                    else:
+                        book.finish(key, "derived" if from_cache else "batch_local")
 
     # ------------------------------------------------------------------ #
     def _record_good(self, key: str, table: Table) -> None:
@@ -501,12 +585,19 @@ class QueryPipeline:
         if self.stale_store is not None:
             self.stale_store.put(key, table)
 
-    def _degrade(self, key: str, error: SourceError, result: BatchResult) -> None:
+    def _degrade(
+        self,
+        key: str,
+        error: SourceError,
+        result: BatchResult,
+        book: LedgerBook | None = None,
+    ) -> None:
         """Source is down for ``key``: stale serve if possible, else error.
 
         Never raises — the degradation contract is that one dead source
         costs its own specs, not the batch.
         """
+        t_degrade = book.now() if book is not None else 0.0
         detail = f"{type(error).__name__}: {error}"
         if self.stale_store is not None:
             stale = self.stale_store.get(key)
@@ -524,6 +615,9 @@ class QueryPipeline:
                         spec=key,
                         age_s=round(age_s, 3),
                     )
+                if book is not None:
+                    book.charge(key, "degrade", book.now() - t_degrade)
+                    book.finish(key, "stale")
                 return
         result.errors[key] = detail
         obs.counter("pipeline.spec_failures").inc()
@@ -535,12 +629,21 @@ class QueryPipeline:
                 "reporting a per-spec error instead of failing the batch",
                 spec=key,
             )
+        if book is not None:
+            book.charge(key, "degrade", book.now() - t_degrade)
+            book.finish(key, "error")
 
     # ------------------------------------------------------------------ #
     def explain_batch(
-        self, specs: list[QuerySpec], *, analyze: bool = False
+        self, specs: list[QuerySpec], *, analyze: bool = False, assume_cold: bool = False
     ) -> list[dict]:
         """Per-request plan report: what ``run_batch`` would do, and why.
+
+        ``assume_cold=True`` skips the cache probe and coalesce peek and
+        reports the plan as if nothing were warm — the slow-query log
+        uses this to capture a meaningful EXPLAIN *after* the real serve
+        has populated the caches (a post-hoc probe would otherwise just
+        say "answered from the intelligent cache").
 
         The dry-run counterpart of :meth:`run_batch`. Probes the
         intelligent cache, runs the batch-graph and fusion analyses, and
@@ -571,13 +674,13 @@ class QueryPipeline:
         pending: list[QuerySpec] = []
         for spec in ordered:
             entry: dict = {"spec": spec.canonical()}
-            if self.options.enable_intelligent_cache:
+            if self.options.enable_intelligent_cache and not assume_cold:
                 cached = self.intelligent_cache.lookup(spec)
                 if cached is not None:
                     entry["decision"] = "answered from the intelligent cache"
                     reports[spec.canonical()] = entry
                     continue
-            if self.options.enable_coalescing:
+            if self.options.enable_coalescing and not assume_cold:
                 ticket = self.coalescer.peek(
                     spec, subsume=self.options.coalesce_subsumption
                 )

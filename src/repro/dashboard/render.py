@@ -18,6 +18,7 @@ from typing import Any
 from .. import obs
 from ..core.pipeline import BatchResult, QueryPipeline
 from ..errors import WorkloadError
+from ..obs.ledger import RequestLedger
 from ..queries.spec import CategoricalFilter, Filter, QuerySpec
 from ..tde.storage.table import Table
 from .model import Dashboard, Zone
@@ -41,6 +42,10 @@ class RenderResult:
     dropped_selections: list[tuple[str, Any]] = field(default_factory=list)
     stale_zones: set[str] = field(default_factory=set)
     zone_errors: dict[str, str] = field(default_factory=dict)
+    #: zone -> per-request latency attribution for the batch that served
+    #: it during this render (populated when the pipeline has ledgers
+    #: enabled; closed out over the render window by :meth:`render`).
+    zone_ledgers: dict[str, "RequestLedger"] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -119,7 +124,16 @@ class DashboardSession:
         with self.lock, obs.span(
             "dashboard.render", dashboard=self.dashboard.name
         ) as render_span:
+            now = self.pipeline._ledger_now
+            t_start = now()
             result = self._render()
+            if result.zone_ledgers:
+                # Widen each zone's ledger to the whole render: time
+                # before its batch is queue, time after (other
+                # iterations, selection validation) is render work.
+                t_end = now()
+                for ledger in result.zone_ledgers.values():
+                    ledger.close_out(t_start, t_end)
             render_span.set(
                 iterations=result.iterations,
                 remote_queries=result.remote_queries,
@@ -137,6 +151,7 @@ class DashboardSession:
         dropped: list[tuple[str, Any]] = []
         stale_zones: set[str] = set()
         zone_errors: dict[str, str] = {}
+        zone_ledgers: dict[str, RequestLedger] = {}
         for iteration in range(1, MAX_ITERATIONS + 1):
             batch_specs: list[tuple[str, QuerySpec]] = []
             for zone in self.dashboard.queryable_zones():
@@ -156,6 +171,7 @@ class DashboardSession:
                     dropped,
                     stale_zones,
                     zone_errors,
+                    zone_ledgers,
                 )
             # Hint the pipeline about fields future interactions will
             # filter on, so cached results include them as dimensions
@@ -177,6 +193,11 @@ class DashboardSession:
                 zone_rows: dict[str, int] = {}
                 for zone_name, spec in batch_specs:
                     key = spec.canonical()
+                    ledger = result.ledgers.get(key)
+                    if ledger is not None:
+                        # A later iteration's ledger supersedes an earlier
+                        # one — the zone's final answer is what it paid for.
+                        zone_ledgers[zone_name] = ledger
                     if key in result.errors:
                         # Keep whatever the zone showed before; surface
                         # the error instead of failing the dashboard.

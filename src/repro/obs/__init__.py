@@ -38,6 +38,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 from .events import NULL_EVENTS, DecisionEvent, EventLog, NullEventLog
+from .ledger import PHASES, LedgerBook, RequestLedger
 from .metrics import (
     NULL_METRICS,
     Counter,
@@ -47,7 +48,16 @@ from .metrics import (
     NullMetricsRegistry,
 )
 from .recording import SCHEMA_VERSION, PerformanceRecording
+from .slowlog import SlowQueryEntry, SlowQueryLog
 from .trace import NULL_TRACER, NullTracer, Span, Tracer, VirtualClock
+from .window import (
+    SLOMonitor,
+    SLOObjective,
+    Telemetry,
+    TelemetryOptions,
+    WindowedHistogram,
+    WindowSet,
+)
 
 __all__ = [
     "Counter",
@@ -55,15 +65,26 @@ __all__ = [
     "EventLog",
     "Gauge",
     "Histogram",
+    "LedgerBook",
     "MetricsRegistry",
     "NullEventLog",
     "NullMetricsRegistry",
     "NullTracer",
+    "PHASES",
     "PerformanceRecording",
+    "RequestLedger",
     "SCHEMA_VERSION",
+    "SLOMonitor",
+    "SLOObjective",
+    "SlowQueryEntry",
+    "SlowQueryLog",
     "Span",
+    "Telemetry",
+    "TelemetryOptions",
     "Tracer",
     "VirtualClock",
+    "WindowSet",
+    "WindowedHistogram",
     "attach",
     "counter",
     "current_span",

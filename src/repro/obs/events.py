@@ -89,23 +89,47 @@ class EventLog:
             )
 
     # ------------------------------------------------------------------ #
+    def cursor(self) -> int:
+        """The next sequence number — pass to ``events(since_seq=...)``."""
+        with self._lock:
+            return self._seq
+
     def events(
-        self, kind: str | None = None, *, outcome: str | None = None
-    ) -> list[DecisionEvent]:
+        self,
+        kind: str | None = None,
+        *,
+        outcome: str | None = None,
+        since_seq: int | None = None,
+    ):
         """Events in emission order, optionally filtered.
 
         ``kind`` matches exactly, or as a dotted prefix (``"cache"``
         selects ``cache.subsumption``, ``cache.evict``, ...).
+
+        With ``since_seq`` this is an **incremental cursor drain**: only
+        events with ``seq >= since_seq`` are returned, paired with the
+        next cursor, so exporters and the slow-query log stop rescanning
+        the whole ring::
+
+            events, cursor = log.events(since_seq=cursor)
+
+        Events that rotated out of the ring before the drain are simply
+        gone (the ``dropped`` counter accounts for them).
         """
         with self._lock:
             snapshot = list(self._events)
+            next_cursor = self._seq
         out = []
         for ev in snapshot:
+            if since_seq is not None and ev.seq < since_seq:
+                continue
             if kind is not None and ev.kind != kind and not ev.kind.startswith(kind + "."):
                 continue
             if outcome is not None and ev.outcome != outcome:
                 continue
             out.append(ev)
+        if since_seq is not None:
+            return out, next_cursor
         return out
 
     def kinds(self) -> dict[str, int]:
@@ -143,7 +167,18 @@ class NullEventLog:
     def emit(self, kind: str, outcome: str, reason: str, **attributes: Any) -> None:
         pass
 
-    def events(self, kind: str | None = None, *, outcome: str | None = None) -> list:
+    def cursor(self) -> int:
+        return 0
+
+    def events(
+        self,
+        kind: str | None = None,
+        *,
+        outcome: str | None = None,
+        since_seq: int | None = None,
+    ):
+        if since_seq is not None:
+            return [], 0
         return []
 
     def kinds(self) -> dict[str, int]:

@@ -1,0 +1,134 @@
+"""A bounded worst-N slow-query log (the "why was it slow?" artifact).
+
+Tableau answers individual-request questions with a Performance
+Recording; a server cannot afford one per request, so this module keeps
+only the **worst N** requests seen (a min-heap ordered by wall time) and
+captures, for each, everything a post-hoc investigation needs:
+
+* the request's :class:`~repro.obs.ledger.RequestLedger` (one per zone
+  for a dashboard request) — where the time went;
+* the slice of the decision-event ring emitted *during* the request
+  (captured via the :meth:`EventLog.events(since_seq=...)
+  <repro.obs.events.EventLog.events>` cursor drain) — why the caches and
+  degradation machinery decided what they did;
+* an auto-captured EXPLAIN of the worst zone's query, compiled as if
+  cold (``assume_cold=True``), so the plan is inspectable even though
+  the real serve populated the caches.
+
+Admission is a two-step protocol so capture cost is only paid for
+requests that will actually be kept: ``would_admit(wall_s)`` is a cheap
+threshold/heap-top check the server performs first; only on ``True``
+does it assemble a :class:`SlowQueryEntry` (ledgers, event slice,
+EXPLAIN) and call ``admit``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class SlowQueryEntry:
+    """One captured slow request: identity, timing, and forensics."""
+
+    key: str  # e.g. "alice/flights-dashboard/load"
+    wall_s: float
+    t_s: float  # clock reading at capture time
+    outcome: str  # "ok" / "degraded" / "failed"
+    context: dict[str, Any] = field(default_factory=dict)
+    #: zone (or spec) name -> ledger dict (``RequestLedger.to_dict()``).
+    ledgers: dict[str, dict] = field(default_factory=dict)
+    #: Decision events emitted during this request, as dicts.
+    events: list[dict] = field(default_factory=list)
+    #: EXPLAIN report for the worst zone's query, when captured.
+    explain: dict | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "wall_s": self.wall_s,
+            "t_s": self.t_s,
+            "outcome": self.outcome,
+            "context": dict(self.context),
+            "ledgers": {k: dict(v) for k, v in self.ledgers.items()},
+            "events": list(self.events),
+            "explain": self.explain,
+        }
+
+
+class SlowQueryLog:
+    """Thread-safe bounded worst-N log ordered by wall time."""
+
+    def __init__(self, capacity: int = 16, *, threshold_s: float = 0.0):
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be >= 1")
+        self.capacity = capacity
+        self.threshold_s = threshold_s
+        self.admitted = 0
+        self.considered = 0
+        self._lock = threading.Lock()
+        self._seq = 0  # heap tie-break: FIFO among equal wall times
+        self._heap: list[tuple[float, int, SlowQueryEntry]] = []
+
+    # ------------------------------------------------------------------ #
+    def would_admit(self, wall_s: float) -> bool:
+        """Cheap pre-check: is ``wall_s`` bad enough to keep?
+
+        Called on every request before any capture work happens, so it
+        must stay allocation-free: a threshold compare plus a heap-top
+        peek.
+        """
+        if wall_s < self.threshold_s:
+            return False
+        with self._lock:
+            self.considered += 1
+            if len(self._heap) < self.capacity:
+                return True
+            return wall_s > self._heap[0][0]
+
+    def admit(self, entry: SlowQueryEntry) -> bool:
+        """Insert a captured entry, evicting the mildest if full.
+
+        Returns False when a concurrent admit beat this entry to the
+        last slot with a worse wall time (the pre-check raced).
+        """
+        with self._lock:
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, (entry.wall_s, self._seq, entry))
+            elif entry.wall_s > self._heap[0][0]:
+                heapq.heapreplace(self._heap, (entry.wall_s, self._seq, entry))
+            else:
+                return False
+            self._seq += 1
+            self.admitted += 1
+            return True
+
+    # ------------------------------------------------------------------ #
+    def entries(self) -> list[SlowQueryEntry]:
+        """Captured entries, worst first."""
+        with self._lock:
+            ranked = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        return [entry for _wall, _seq, entry in ranked]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "threshold_s": self.threshold_s,
+            "considered": self.considered,
+            "admitted": self.admitted,
+            "entries": [entry.to_dict() for entry in self.entries()],
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._heap.clear()
+            self._seq = 0
+            self.admitted = 0
+            self.considered = 0

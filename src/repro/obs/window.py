@@ -1,0 +1,420 @@
+"""Rolling time-windowed metrics and burn-rate SLO monitoring.
+
+The cumulative histograms in :mod:`repro.obs.metrics` answer "what was
+the p95 since startup?" — useless for steering a server that has been up
+for a week. This module adds the time axis:
+
+* :class:`WindowedHistogram` — a ring of fixed sub-window
+  :class:`~repro.obs.metrics.Histogram` buckets. Observations land in
+  the bucket for the current sub-window (stale cells are lazily
+  recycled); reads merge the live cells via the existing
+  ``Histogram.merge``, yielding percentiles over the trailing window at
+  the cost of one small merge per read instead of any per-observation
+  bookkeeping.
+* :class:`WindowSet` — windowed histograms keyed by a dimension value
+  (per-session, per-backend, per-dashboard), with a bounded key space.
+* :class:`SLOMonitor` — a latency objective (fraction of requests under
+  a threshold) evaluated as **error-budget burn rate** over two windows:
+  a fast window for detection speed and a slow window for confidence
+  (the multi-window burn-rate alerting recipe). Breach and recovery emit
+  ``slo.breach`` / ``slo.recovered`` decision events.
+
+Everything reads an injectable clock — either a ``() -> float`` callable
+or any object with a ``monotonic()`` method (so
+:class:`repro.faults.clock.VirtualTimeClock` plugs in directly) — which
+makes the whole layer virtual-time compatible: chaos tests drive
+deterministic breach→recovery timelines in microseconds of real time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .metrics import Histogram
+
+
+def _now_fn(clock) -> Callable[[], float]:
+    """Normalize a clock argument to a monotonic ``() -> float``."""
+    if clock is None:
+        return time.monotonic
+    monotonic = getattr(clock, "monotonic", None)
+    if monotonic is not None:
+        return monotonic
+    return clock
+
+
+class WindowedHistogram:
+    """Percentiles over a trailing time window, via a sub-window ring."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        window_s: float = 60.0,
+        buckets: int = 12,
+        clock=None,
+    ):
+        if window_s <= 0 or buckets < 1:
+            raise ValueError("window_s must be > 0 and buckets >= 1")
+        self.name = name
+        self.window_s = float(window_s)
+        self.buckets = buckets
+        self.span_s = self.window_s / buckets
+        self._now = _now_fn(clock)
+        self._lock = threading.Lock()
+        #: slot -> [epoch, Histogram]; a cell is live iff its epoch is
+        #: within the trailing window of the current epoch.
+        self._ring: list[list] = [[-1, None] for _ in range(buckets)]
+        self.observed = 0
+
+    # ------------------------------------------------------------------ #
+    def observe(self, value: float) -> None:
+        epoch = int(self._now() // self.span_s)
+        slot = epoch % self.buckets
+        with self._lock:
+            cell = self._ring[slot]
+            if cell[0] != epoch:
+                cell[0] = epoch
+                cell[1] = Histogram(f"{self.name}[{epoch}]")
+            self.observed += 1
+        # The cell histogram has its own lock; observing outside ours
+        # keeps the windowed lock hold time to the rotation check.
+        cell[1].observe(value)
+
+    # ------------------------------------------------------------------ #
+    def merged(self, horizon_s: float | None = None) -> Histogram:
+        """The live cells folded into one histogram (trailing window)."""
+        horizon = self.window_s if horizon_s is None else min(horizon_s, self.window_s)
+        now_epoch = int(self._now() // self.span_s)
+        oldest = now_epoch - int(horizon / self.span_s)
+        out = Histogram(self.name)
+        with self._lock:
+            cells = [(cell[0], cell[1]) for cell in self._ring]
+        for epoch, hist in cells:
+            if hist is not None and oldest < epoch <= now_epoch:
+                out.merge(hist)
+        return out
+
+    def snapshot(self, horizon_s: float | None = None) -> dict[str, Any]:
+        snap = self.merged(horizon_s).snapshot()
+        snap["window_s"] = self.window_s
+        snap["observed_total"] = self.observed
+        return snap
+
+
+class WindowSet:
+    """Windowed histograms keyed by dimension value, with a key cap.
+
+    Dimensions like "session" are unbounded in production; the cap keeps
+    a soak from growing the registry forever. Overflowed observations
+    are counted (never silently dropped from the accounting) but get no
+    per-key window.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        window_s: float = 60.0,
+        buckets: int = 12,
+        max_keys: int = 64,
+        clock=None,
+    ):
+        self.name = name
+        self.window_s = window_s
+        self.buckets = buckets
+        self.max_keys = max_keys
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._windows: dict[str, WindowedHistogram] = {}
+        self.overflowed = 0
+
+    def observe(self, key: str, value: float) -> None:
+        window = self._windows.get(key)
+        if window is None:
+            with self._lock:
+                window = self._windows.get(key)
+                if window is None:
+                    if len(self._windows) >= self.max_keys:
+                        self.overflowed += 1
+                        return
+                    window = WindowedHistogram(
+                        f"{self.name}.{key}",
+                        window_s=self.window_s,
+                        buckets=self.buckets,
+                        clock=self._clock,
+                    )
+                    self._windows[key] = window
+        window.observe(value)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._windows)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            windows = dict(self._windows)
+        return {
+            "overflowed": self.overflowed,
+            "keys": {key: windows[key].snapshot() for key in sorted(windows)},
+        }
+
+
+# ---------------------------------------------------------------------- #
+# SLO burn-rate monitoring
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SLOObjective:
+    """A latency objective: ``objective`` of requests under ``threshold_s``.
+
+    ``burn_threshold`` is how fast the error budget must burn in the
+    fast window to page: 2.0 means "at this rate the whole budget is
+    gone in half the slow window".
+    """
+
+    name: str = "latency"
+    threshold_s: float = 0.25
+    objective: float = 0.95
+    fast_window_s: float = 30.0
+    slow_window_s: float = 300.0
+    burn_threshold: float = 2.0
+
+
+class SLOMonitor:
+    """Evaluates an :class:`SLOObjective` over fast/slow burn windows.
+
+    A ring of ``[epoch, good, bad]`` counter cells spans the slow
+    window; the fast burn reads only the cells inside the fast window.
+    Breach requires *both* windows burning (fast ≥ ``burn_threshold``
+    and slow ≥ 1.0): the fast window gives detection latency, the slow
+    window stops a single bad second from paging. Recovery is when the
+    fast burn drops under 1.0 — the budget has stopped burning.
+    """
+
+    def __init__(self, objective: SLOObjective | None = None, *, clock=None, buckets: int = 30):
+        self.objective = objective or SLOObjective()
+        if self.objective.fast_window_s > self.objective.slow_window_s:
+            raise ValueError("fast window must not exceed the slow window")
+        self.buckets = buckets
+        self.span_s = self.objective.slow_window_s / buckets
+        self._now = _now_fn(clock)
+        self._lock = threading.Lock()
+        self._ring: list[list] = [[-1, 0, 0] for _ in range(buckets)]
+        self.state = "ok"
+        self.breaches = 0
+        self.last_transition_t: float | None = None
+        self.good_total = 0
+        self.bad_total = 0
+
+    # ------------------------------------------------------------------ #
+    def record(self, latency_s: float) -> str:
+        """Record one request and re-evaluate; returns the current state."""
+        good = latency_s <= self.objective.threshold_s
+        now = self._now()
+        epoch = int(now // self.span_s)
+        slot = epoch % self.buckets
+        with self._lock:
+            cell = self._ring[slot]
+            if cell[0] != epoch:
+                cell[0], cell[1], cell[2] = epoch, 0, 0
+            cell[1 if good else 2] += 1
+            if good:
+                self.good_total += 1
+            else:
+                self.bad_total += 1
+        return self.evaluate(now)
+
+    def _burn(self, horizon_s: float, now_epoch: int) -> float:
+        """Error-budget burn rate over the trailing ``horizon_s``."""
+        oldest = now_epoch - int(horizon_s / self.span_s)
+        good = bad = 0
+        for epoch, g, b in self._ring:
+            if oldest < epoch <= now_epoch:
+                good += g
+                bad += b
+        total = good + bad
+        if total == 0:
+            return 0.0
+        budget = max(1.0 - self.objective.objective, 1e-9)
+        return (bad / total) / budget
+
+    def evaluate(self, now: float | None = None) -> str:
+        """Re-evaluate burn rates (also handles recovery by time passing)."""
+        if now is None:
+            now = self._now()
+        now_epoch = int(now // self.span_s)
+        with self._lock:
+            fast = self._burn(self.objective.fast_window_s, now_epoch)
+            slow = self._burn(self.objective.slow_window_s, now_epoch)
+            previous = self.state
+            if previous == "ok" and fast >= self.objective.burn_threshold and slow >= 1.0:
+                self.state = "breach"
+                self.breaches += 1
+                self.last_transition_t = now
+            elif previous == "breach" and fast < 1.0:
+                self.state = "ok"
+                self.last_transition_t = now
+            transition = (previous, self.state)
+        if transition == ("ok", "breach"):
+            self._emit(
+                "slo.breach",
+                "breach",
+                f"{self.objective.name}: fast burn {fast:.2f}x >= "
+                f"{self.objective.burn_threshold}x and slow burn {slow:.2f}x >= 1.0 "
+                f"(objective: {self.objective.objective:.0%} under "
+                f"{self.objective.threshold_s}s)",
+                fast_burn=round(fast, 3),
+                slow_burn=round(slow, 3),
+            )
+        elif transition == ("breach", "ok"):
+            self._emit(
+                "slo.recovered",
+                "ok",
+                f"{self.objective.name}: fast burn {fast:.2f}x dropped under 1.0; "
+                "the error budget stopped burning",
+                fast_burn=round(fast, 3),
+                slow_burn=round(slow, 3),
+            )
+        return self.state
+
+    @staticmethod
+    def _emit(kind: str, outcome: str, reason: str, **attributes) -> None:
+        # Imported at call time (transitions are rare): obs.window is
+        # imported while ``repro.obs`` itself initializes, so a
+        # module-level ``from .. import obs`` would be cycle-prone.
+        from repro import obs
+
+        obs.event(kind, outcome, reason, **attributes)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, Any]:
+        now_epoch = int(self._now() // self.span_s)
+        with self._lock:
+            fast = self._burn(self.objective.fast_window_s, now_epoch)
+            slow = self._burn(self.objective.slow_window_s, now_epoch)
+            return {
+                "name": self.objective.name,
+                "threshold_s": self.objective.threshold_s,
+                "objective": self.objective.objective,
+                "state": self.state,
+                "breaches": self.breaches,
+                "fast_burn": fast,
+                "slow_burn": slow,
+                "good_total": self.good_total,
+                "bad_total": self.bad_total,
+                "last_transition_t": self.last_transition_t,
+            }
+
+
+# ---------------------------------------------------------------------- #
+# The serving-layer telemetry hub
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TelemetryOptions:
+    """Configuration for a server's :class:`Telemetry` plane."""
+
+    window_s: float = 60.0
+    buckets: int = 12
+    #: Dimension keys a server records per request (beyond the global
+    #: window); each gets a :class:`WindowSet`.
+    max_keys_per_dimension: int = 64
+    slo: SLOObjective | None = None
+    #: Worst-N slow-query log size and admission floor.
+    slowlog_capacity: int = 16
+    slow_threshold_s: float = 0.0
+    #: Capture an EXPLAIN of the worst zone for admitted slow queries.
+    capture_explain: bool = True
+
+
+class Telemetry:
+    """Windowed metrics + SLO + slow-log, bundled for one serving surface.
+
+    ``VizServer`` and ``DataServer`` each own one; ``observe`` is the
+    single per-request entry point and returns whether the request is a
+    slow-log candidate (so the caller only assembles the expensive
+    capture when it will be kept).
+    """
+
+    def __init__(self, options: TelemetryOptions | None = None, *, clock=None):
+        self.options = options or TelemetryOptions()
+        self._clock = clock
+        self.now = _now_fn(clock)
+        self.requests = WindowedHistogram(
+            "request_s",
+            window_s=self.options.window_s,
+            buckets=self.options.buckets,
+            clock=clock,
+        )
+        self.slo = SLOMonitor(self.options.slo, clock=clock)
+        # Deferred import: slowlog is a sibling obs module, safe, but
+        # kept here so this module's import graph stays metrics-only.
+        from .slowlog import SlowQueryLog
+
+        self.slowlog = SlowQueryLog(
+            self.options.slowlog_capacity,
+            threshold_s=self.options.slow_threshold_s,
+        )
+        self._dimensions: dict[str, WindowSet] = {}
+        self._lock = threading.Lock()
+        self.total = 0
+        self.degraded = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------ #
+    def window(self, dimension: str) -> WindowSet:
+        window_set = self._dimensions.get(dimension)
+        if window_set is None:
+            with self._lock:
+                window_set = self._dimensions.get(dimension)
+                if window_set is None:
+                    window_set = WindowSet(
+                        dimension,
+                        window_s=self.options.window_s,
+                        buckets=self.options.buckets,
+                        max_keys=self.options.max_keys_per_dimension,
+                        clock=self._clock,
+                    )
+                    self._dimensions[dimension] = window_set
+        return window_set
+
+    def observe(
+        self,
+        wall_s: float,
+        *,
+        dimensions: dict[str, str] | None = None,
+        degraded: bool = False,
+        failed: bool = False,
+    ) -> bool:
+        """Record one served request; True if it's a slow-log candidate."""
+        with self._lock:
+            self.total += 1
+            if degraded:
+                self.degraded += 1
+            if failed:
+                self.failed += 1
+        self.requests.observe(wall_s)
+        if dimensions:
+            for dimension, key in dimensions.items():
+                self.window(dimension).observe(key, wall_s)
+        self.slo.record(wall_s)
+        return self.slowlog.would_admit(wall_s)
+
+    # ------------------------------------------------------------------ #
+    def statz(self) -> dict[str, Any]:
+        with self._lock:
+            dims = dict(self._dimensions)
+            counters = {
+                "total": self.total,
+                "degraded": self.degraded,
+                "failed": self.failed,
+            }
+        return {
+            "requests": counters,
+            "window": self.requests.snapshot(),
+            "dimensions": {name: dims[name].snapshot() for name in sorted(dims)},
+            "slo": self.slo.snapshot(),
+            "slowlog": self.slowlog.snapshot(),
+        }

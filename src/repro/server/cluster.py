@@ -10,9 +10,12 @@ dispatches queries to different nodes in the TDE cluster."
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable
 
 from ..errors import ServerError
+from ..obs.metrics import Histogram
+from ..obs.window import SLOMonitor, SLOObjective, WindowedHistogram
 from ..tde.engine import DataEngine
 from ..tde.optimizer.catalog import StorageCatalog
 from ..tde.optimizer.parallel import PlannerOptions
@@ -20,11 +23,14 @@ from ..tde.storage.table import Table
 
 
 class _Node:
-    def __init__(self, node_id: int, engine: DataEngine):
+    def __init__(self, node_id: int, engine: DataEngine, window: WindowedHistogram | None):
         self.node_id = node_id
         self.engine = engine
         self.in_flight = 0
         self.queries_served = 0
+        self.failures = 0
+        #: Trailing-window query latency, when cluster telemetry is on.
+        self.window = window
 
 
 class TdeCluster:
@@ -41,12 +47,18 @@ class TdeCluster:
         mode: str = "shared-everything",
         balancer: str = "round-robin",
         options: PlannerOptions | None = None,
+        telemetry: bool = False,
+        slo: SLOObjective | None = None,
+        clock=None,
     ):
         """``loader`` populates one engine with tables and constraints.
 
         Shared-everything builds one storage database and points every
         node's engine at it; shared-nothing calls the loader once per
-        node, giving each node its own replica.
+        node, giving each node its own replica. With ``telemetry=True``
+        each node keeps a trailing-window latency histogram and the
+        cluster evaluates a fleet-level SLO; :meth:`statz` merges the
+        per-node windows into a fleet view.
         """
         if mode not in self.MODES:
             raise ServerError(f"unknown cluster mode {mode!r}")
@@ -58,6 +70,15 @@ class TdeCluster:
         self.balancer = balancer
         self._lock = threading.Lock()
         self._rr = 0
+        self._now = clock.monotonic if clock is not None else time.monotonic
+        self.telemetry = telemetry
+        self.slo = SLOMonitor(slo, clock=clock) if telemetry else None
+
+        def _window(i: int) -> WindowedHistogram | None:
+            if not telemetry:
+                return None
+            return WindowedHistogram(f"node{i}.query_s", clock=clock)
+
         self.nodes: list[_Node] = []
         if mode == "shared-everything":
             primary = DataEngine("tde-cluster", options=options)
@@ -66,12 +87,12 @@ class TdeCluster:
                 engine = DataEngine(f"node{i}", options=options)
                 engine.database = primary.database  # shared storage
                 engine.catalog = primary.catalog
-                self.nodes.append(_Node(i, engine))
+                self.nodes.append(_Node(i, engine, _window(i)))
         else:
             for i in range(n_nodes):
                 engine = DataEngine(f"node{i}", options=options)
                 loader(engine)
-                self.nodes.append(_Node(i, engine))
+                self.nodes.append(_Node(i, engine, _window(i)))
 
     # ------------------------------------------------------------------ #
     def _pick(self) -> _Node:
@@ -92,12 +113,23 @@ class TdeCluster:
     def query(self, tql: str) -> tuple[int, Table]:
         """Dispatch one query; returns (node_id, result)."""
         node = self._pick()
+        started = self._now() if self.telemetry else 0.0
+        failed = False
         try:
             result = node.engine.query(tql)
+        except Exception:
+            failed = True
+            raise
         finally:
             with self._lock:
                 node.in_flight -= 1
                 node.queries_served += 1
+                if failed:
+                    node.failures += 1
+            if self.telemetry:
+                elapsed = self._now() - started
+                node.window.observe(elapsed)
+                self.slo.record(elapsed)
         return node.node_id, result
 
     def in_flight_snapshot(self) -> list[int]:
@@ -112,3 +144,43 @@ class TdeCluster:
     def storage_copies(self) -> int:
         """Distinct storage databases held by the cluster."""
         return len({id(n.engine.database) for n in self.nodes})
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """Cluster liveness view: load, balance and failure counts."""
+        with self._lock:
+            nodes = {
+                f"node{n.node_id}": {
+                    "in_flight": n.in_flight,
+                    "queries_served": n.queries_served,
+                    "failures": n.failures,
+                }
+                for n in self.nodes
+            }
+        return {
+            "mode": self.mode,
+            "balancer": self.balancer,
+            "storage_copies": self.storage_copies,
+            "queries_served": sum(s["queries_served"] for s in nodes.values()),
+            "failures": sum(s["failures"] for s in nodes.values()),
+            "nodes": nodes,
+        }
+
+    def statz(self) -> dict:
+        """Per-node windowed latency merged into a fleet rollup.
+
+        The fleet view folds every node's live window cells into one
+        histogram via ``Histogram.merge`` — the same percentile math a
+        single node uses, so node and fleet numbers are comparable.
+        """
+        snap = self.health()
+        snap["telemetry_enabled"] = self.telemetry
+        if not self.telemetry:
+            return snap
+        fleet = Histogram("fleet.query_s")
+        for node in self.nodes:
+            node_hist = node.window.merged()
+            snap["nodes"][f"node{node.node_id}"]["window"] = node_hist.snapshot()
+            fleet.merge(node_hist)
+        snap["fleet"] = {"window": fleet.snapshot(), "slo": self.slo.snapshot()}
+        return snap

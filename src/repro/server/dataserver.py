@@ -14,13 +14,17 @@ accounted in bytes so the temp-table experiments can measure the saving.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from .. import obs
 from ..core.pipeline import PipelineOptions, QueryPipeline
-from ..errors import PermissionError_, ServerError
+from ..errors import PermissionError_, ServerError, SourceUnavailableError
+from ..obs.slowlog import SlowQueryEntry
+from ..obs.window import Telemetry, TelemetryOptions
 from ..queries.model import DataSourceModel
 from ..queries.spec import CategoricalFilter, Filter, QuerySpec
 from ..tde.storage.table import Table
@@ -43,9 +47,22 @@ class PublishedDataSource:
 class DataServer:
     """Registry of published data sources and session factory."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        telemetry: TelemetryOptions | bool | None = None,
+        clock=None,
+    ) -> None:
         self._published: dict[str, PublishedDataSource] = {}
         self._lock = threading.Lock()
+        self._clock = clock
+        self._now = clock.monotonic if clock is not None else time.monotonic
+        self.telemetry: Telemetry | None = None
+        if telemetry:
+            telemetry_options = (
+                telemetry if isinstance(telemetry, TelemetryOptions) else None
+            )
+            self.telemetry = Telemetry(telemetry_options, clock=clock)
 
     # ------------------------------------------------------------------ #
     def publish(
@@ -61,7 +78,13 @@ class DataServer:
         with self._lock:
             if name in self._published:
                 raise ServerError(f"data source {name!r} already published")
-            pipeline = QueryPipeline(source, model, options=options)
+            if self.telemetry is not None:
+                # The proxy's telemetry needs per-request ledgers from
+                # every published pipeline.
+                options = dataclasses.replace(
+                    options or PipelineOptions(), enable_ledger=True
+                )
+            pipeline = QueryPipeline(source, model, options=options, clock=self._clock)
             published = PublishedDataSource(
                 name, model, source, pipeline, TempTableState(), dict(user_filters or {})
             )
@@ -103,15 +126,38 @@ class DataServer:
         return published.refresh_count
 
     def connect(self, name: str, user: str) -> "DataServerSession":
-        return DataServerSession(self.get(name), user)
+        return DataServerSession(self.get(name), user, telemetry=self.telemetry)
+
+    # ------------------------------------------------------------------ #
+    def statz(self) -> dict:
+        """Windowed latency, SLO burn state and slow queries for the proxy."""
+        snap: dict[str, Any] = {
+            "telemetry_enabled": self.telemetry is not None,
+            "published": {
+                name: {
+                    "refresh_count": self._published[name].refresh_count,
+                }
+                for name in sorted(self._published)
+            },
+        }
+        if self.telemetry is not None:
+            snap.update(self.telemetry.statz())
+        return snap
 
 
 class DataServerSession:
     """One client connection to a published data source."""
 
-    def __init__(self, published: PublishedDataSource, user: str):
+    def __init__(
+        self,
+        published: PublishedDataSource,
+        user: str,
+        *,
+        telemetry: Telemetry | None = None,
+    ):
         self.published = published
         self.user = user
+        self.telemetry = telemetry
         self.closed = False
         self.bytes_from_client = 0
         self.queries_answered = 0
@@ -173,6 +219,9 @@ class DataServerSession:
             raise ServerError(
                 f"spec targets {spec.datasource!r}, session is {self.published.name!r}"
             )
+        now = self.published.pipeline._ledger_now
+        cursor = obs.get_events().cursor() if self.telemetry is not None else 0
+        started = now() if self.telemetry is not None else 0.0
         # The proxy hop: client spec → published pipeline → result.
         with obs.span(
             "dataserver.query", datasource=self.published.name, user=self.user
@@ -199,7 +248,15 @@ class DataServerSession:
             # For a single-spec session API, an unanswerable query raises
             # (SourceUnavailableError out of table_for); a stale serve
             # succeeds but is flagged on the session.
-            result = batch.table_for(effective)
+            try:
+                result = batch.table_for(effective)
+            except SourceUnavailableError:
+                if self.telemetry is not None:
+                    self._observe(
+                        effective, batch, started, now() - started, cursor,
+                        failed=True,
+                    )
+                raise
             self.last_stale = batch.is_stale(effective)
             if self.last_stale:
                 self.stale_serves += 1
@@ -208,7 +265,63 @@ class DataServerSession:
             self.queries_answered += 1
             obs.counter("dataserver.queries").inc()
             sp.set(rows=result.n_rows)
+        if self.telemetry is not None:
+            self._observe(
+                effective, batch, started, now() - started, cursor, failed=False
+            )
         return result
+
+    # ------------------------------------------------------------------ #
+    def _observe(
+        self, effective: QuerySpec, batch, started, elapsed, cursor, *, failed: bool
+    ) -> None:
+        """Feed one proxied query into the server's telemetry plane."""
+        key = effective.canonical()
+        ledger = batch.ledgers.get(key)
+        if ledger is not None:
+            ledger.close_out(started, started + elapsed)
+        degraded = batch.is_stale(effective)
+        slow = self.telemetry.observe(
+            elapsed,
+            dimensions={
+                "source": self.published.name,
+                "session": self.user,
+                "backend": self.published.source.name,
+            },
+            degraded=degraded,
+            failed=failed,
+        )
+        if not slow:
+            return
+        events, _next = obs.get_events().events(since_seq=cursor)
+        explain = None
+        if self.telemetry.options.capture_explain:
+            report = self.published.pipeline.explain_batch(
+                [effective], assume_cold=True
+            )[0]
+            plan = report.get("plan")
+            explain = {
+                "spec": report["spec"],
+                "decision": report.get("decision"),
+                "query": report.get("text"),
+                "plan": str(plan) if plan is not None else None,
+            }
+        self.telemetry.slowlog.admit(
+            SlowQueryEntry(
+                key=f"{self.user}/{self.published.name}/query",
+                wall_s=elapsed,
+                t_s=started,
+                outcome="failed" if failed else "degraded" if degraded else "ok",
+                context={
+                    "spec": key,
+                    "remote_queries": batch.remote_queries,
+                    "cache_hits": batch.cache_hits,
+                },
+                ledgers={key: ledger.to_dict()} if ledger is not None else {},
+                events=[ev.to_dict() for ev in events],
+                explain=explain,
+            )
+        )
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

@@ -14,6 +14,7 @@ node would re-fetch the same dashboards from the backend.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 
@@ -25,6 +26,8 @@ from ..core.pipeline import PipelineOptions, QueryPipeline
 from ..dashboard.model import Dashboard
 from ..dashboard.render import DashboardSession, RenderResult
 from ..errors import ServerError
+from ..obs.slowlog import SlowQueryEntry
+from ..obs.window import Telemetry, TelemetryOptions
 from ..queries.model import DataSourceModel
 from ..tde.storage.table import Table
 
@@ -58,6 +61,7 @@ class ServerNode:
         options: PipelineOptions | None = None,
         use_l1: bool = True,
         coalescer: SingleFlightRegistry | None = None,
+        clock=None,
     ):
         self.node_id = node_id
         self.distributed = DistributedQueryCache(
@@ -69,6 +73,7 @@ class ServerNode:
             options=options,
             literal_cache=_DistributedLiteralCache(self.distributed),
             coalescer=coalescer,
+            clock=clock,
         )
         self.requests_handled = 0
 
@@ -85,14 +90,31 @@ class VizServer:
         store: KeyValueStore | None = None,
         options: PipelineOptions | None = None,
         use_l1: bool = True,
+        telemetry: TelemetryOptions | bool | None = None,
+        clock=None,
     ):
         if n_nodes < 1:
             raise ServerError("VizServer needs at least one node")
         self.store = store or KeyValueStore()
+        self._now = clock.monotonic if clock is not None else time.monotonic
+        # The telemetry plane (windowed latency, SLO burn, slow-query
+        # log) needs per-request ledgers, so enabling it forces
+        # enable_ledger into every node's pipeline options.
+        self.telemetry: Telemetry | None = None
+        if telemetry:
+            telemetry_options = (
+                telemetry if isinstance(telemetry, TelemetryOptions) else None
+            )
+            self.telemetry = Telemetry(telemetry_options, clock=clock)
+            options = dataclasses.replace(
+                options or PipelineOptions(), enable_ledger=True
+            )
         # One single-flight registry for the whole cluster: a herd of
         # identical initial loads coalesces across nodes, not just within
         # the node that happened to serve the first request.
-        self.coalescer = SingleFlightRegistry(getattr(source, "name", "source"))
+        self.coalescer = SingleFlightRegistry(
+            getattr(source, "name", "source"), clock=clock
+        )
         self.nodes = [
             ServerNode(
                 f"node{i}",
@@ -102,6 +124,7 @@ class VizServer:
                 options=options,
                 use_l1=use_l1,
                 coalescer=self.coalescer,
+                clock=clock,
             )
             for i in range(n_nodes)
         ]
@@ -137,11 +160,25 @@ class VizServer:
 
     # ------------------------------------------------------------------ #
     def load(self, user: str, dashboard_name: str) -> tuple[str, RenderResult]:
+        return self._serve("load", user, dashboard_name, lambda s: s.render())
+
+    def select(
+        self, user: str, dashboard_name: str, zone: str, values
+    ) -> tuple[str, RenderResult]:
+        return self._serve(
+            "select", user, dashboard_name, lambda s: s.select(zone, values)
+        )
+
+    def _serve(self, op, user, dashboard_name, action) -> tuple[str, RenderResult]:
         node = self._route()
         session = self._session(user, dashboard_name)
-        started = time.monotonic()
+        # The event cursor marks where this request starts in the
+        # decision-event ring; the slow-query log drains from here so a
+        # captured entry carries exactly this request's decisions.
+        cursor = obs.get_events().cursor() if self.telemetry is not None else 0
+        started = self._now()
         with obs.span(
-            "vizserver.request", op="load", node=node.node_id, dashboard=dashboard_name
+            "vizserver.request", op=op, node=node.node_id, dashboard=dashboard_name
         ) as sp:
             # Any node may serve any request; the session state is shared,
             # the pipeline (and its caches) is the serving node's. The
@@ -149,25 +186,15 @@ class VizServer:
             # for the same session never sees a mid-render pipeline change.
             with session.lock:
                 session.pipeline = node.pipeline
-                result = session.render()
+                result = action(session)
             self._note_degradation(sp, result)
-        obs.histogram("vizserver.request_s").observe(time.monotonic() - started)
-        return node.node_id, result
-
-    def select(
-        self, user: str, dashboard_name: str, zone: str, values
-    ) -> tuple[str, RenderResult]:
-        node = self._route()
-        session = self._session(user, dashboard_name)
-        started = time.monotonic()
-        with obs.span(
-            "vizserver.request", op="select", node=node.node_id, dashboard=dashboard_name
-        ) as sp:
-            with session.lock:
-                session.pipeline = node.pipeline
-                result = session.select(zone, values)
-            self._note_degradation(sp, result)
-        obs.histogram("vizserver.request_s").observe(time.monotonic() - started)
+        elapsed = self._now() - started
+        obs.histogram("vizserver.request_s").observe(elapsed)
+        if self.telemetry is not None:
+            self._observe_request(
+                op, user, dashboard_name, node, session, result,
+                started, elapsed, cursor,
+            )
         return node.node_id, result
 
     @staticmethod
@@ -178,6 +205,79 @@ class VizServer:
                 stale_zones=sorted(result.stale_zones),
                 zone_errors=sorted(result.zone_errors),
             )
+
+    # ------------------------------------------------------------------ #
+    def _observe_request(
+        self, op, user, dashboard_name, node, session, result,
+        started, elapsed, cursor,
+    ) -> None:
+        """Feed one served request into the telemetry plane."""
+        # Widen each zone's ledger to the server request window: routing
+        # and session-lock wait become queue, response assembly render.
+        for ledger in result.zone_ledgers.values():
+            ledger.close_out(started, started + elapsed)
+        slow = self.telemetry.observe(
+            elapsed,
+            dimensions={
+                "dashboard": dashboard_name,
+                "session": user,
+                "node": node.node_id,
+                "backend": node.pipeline.source.name,
+            },
+            degraded=result.degraded,
+            failed=bool(result.zone_errors),
+        )
+        if not slow:
+            return
+        events, _next = obs.get_events().events(since_seq=cursor)
+        outcome = (
+            "failed" if result.zone_errors
+            else "degraded" if result.degraded
+            else "ok"
+        )
+        entry = SlowQueryEntry(
+            key=f"{user}/{dashboard_name}/{op}",
+            wall_s=elapsed,
+            t_s=started,
+            outcome=outcome,
+            context={
+                "node": node.node_id,
+                "iterations": result.iterations,
+                "remote_queries": result.remote_queries,
+                "cache_hits": result.cache_hits,
+                "stale_zones": sorted(result.stale_zones),
+                "zone_errors": dict(result.zone_errors),
+            },
+            ledgers={
+                zone: ledger.to_dict()
+                for zone, ledger in sorted(result.zone_ledgers.items())
+            },
+            events=[ev.to_dict() for ev in events],
+            explain=self._explain_worst_zone(node, session, result),
+        )
+        self.telemetry.slowlog.admit(entry)
+
+    def _explain_worst_zone(self, node, session, result) -> dict | None:
+        """Auto-capture an EXPLAIN of the slowest zone's query, as-if cold."""
+        if not self.telemetry.options.capture_explain or not result.zone_ledgers:
+            return None
+        worst_zone = max(
+            result.zone_ledgers, key=lambda z: result.zone_ledgers[z].active_s
+        )
+        with session.lock:
+            zone = session.dashboard.zones.get(worst_zone)
+            if zone is None or not zone.has_query:
+                return None
+            spec = session.effective_spec(zone)
+        report = node.pipeline.explain_batch([spec], assume_cold=True)[0]
+        plan = report.get("plan")
+        return {
+            "zone": worst_zone,
+            "spec": report["spec"],
+            "decision": report.get("decision"),
+            "query": report.get("text"),
+            "plan": str(plan) if plan is not None else None,
+        }
 
     # ------------------------------------------------------------------ #
     def explain(
@@ -246,6 +346,28 @@ class VizServer:
             "degraded_nodes": degraded,
             "coalesce": self.coalescer.snapshot(),
         }
+
+    # ------------------------------------------------------------------ #
+    def statz(self) -> dict:
+        """The live telemetry snapshot: windowed latency percentiles
+        (global + per dimension), SLO burn state, and the slow-query log.
+
+        The always-available skeleton (node request counts, coalescing)
+        is returned even with telemetry off, so callers can probe one
+        endpoint unconditionally; ``telemetry_enabled`` says whether the
+        windowed sections are present.
+        """
+        snap = {
+            "telemetry_enabled": self.telemetry is not None,
+            "nodes": {
+                node.node_id: {"requests_handled": node.requests_handled}
+                for node in self.nodes
+            },
+            "coalesce": self.coalescer.snapshot(),
+        }
+        if self.telemetry is not None:
+            snap.update(self.telemetry.statz())
+        return snap
 
     # ------------------------------------------------------------------ #
     def cache_summary(self) -> dict:

@@ -60,6 +60,47 @@ class TestEventLog:
         }
 
 
+class TestCursorDrain:
+    """Incremental consumption: events(since_seq=...) -> (new, cursor)."""
+
+    def test_drain_returns_only_new_events_and_next_cursor(self):
+        log = EventLog()
+        log.emit("a", "o", "r0")
+        cursor = log.cursor()
+        log.emit("b", "o", "r1")
+        log.emit("c", "o", "r2")
+        fresh, next_cursor = log.events(since_seq=cursor)
+        assert [e.kind for e in fresh] == ["b", "c"]
+        assert next_cursor == 3
+        again, final = log.events(since_seq=next_cursor)
+        assert again == [] and final == next_cursor
+
+    def test_drain_composes_with_kind_filters(self):
+        log = EventLog()
+        log.emit("cache.literal", "hit", "old")
+        cursor = log.cursor()
+        log.emit("cache.literal", "miss", "new")
+        log.emit("fusion", "fused", "new")
+        fresh, _next = log.events("cache", since_seq=cursor)
+        assert [e.reason for e in fresh] == ["new"]
+
+    def test_cursor_survives_ring_rotation(self):
+        """Events that rotated out are simply gone; the drain never
+        double-counts or fails on a stale cursor."""
+        log = EventLog(maxlen=3)
+        log.emit("a", "o", "r")
+        cursor = log.cursor()  # 1
+        for i in range(5):
+            log.emit("b", "o", f"r{i}")
+        fresh, next_cursor = log.events(since_seq=cursor)
+        assert [e.reason for e in fresh] == ["r2", "r3", "r4"]
+        assert next_cursor == 6
+
+    def test_null_log_drain_is_empty(self):
+        assert NULL_EVENTS.cursor() == 0
+        assert NULL_EVENTS.events(since_seq=0) == ([], 0)
+
+
 class TestNullPath:
     def test_null_log_discards(self):
         NULL_EVENTS.emit("k", "o", "r")

@@ -1,0 +1,82 @@
+"""The worst-N slow-query log: cheap admission, heap eviction, snapshots."""
+
+from __future__ import annotations
+
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+
+
+def entry(key: str, wall_s: float, **kwargs) -> SlowQueryEntry:
+    defaults = dict(t_s=0.0, outcome="ok", context={}, ledgers={}, events=[])
+    defaults.update(kwargs)
+    return SlowQueryEntry(key=key, wall_s=wall_s, **defaults)
+
+
+class TestAdmission:
+    def test_below_threshold_is_never_a_candidate(self):
+        log = SlowQueryLog(4, threshold_s=0.1)
+        assert not log.would_admit(0.05)
+        assert log.would_admit(0.2)
+        # Sub-threshold requests bail before the (locked) considered
+        # bump — the per-request cost of a quiet server is one compare.
+        assert log.considered == 1
+
+    def test_would_admit_peeks_the_heap_once_full(self):
+        log = SlowQueryLog(2)
+        log.admit(entry("a", 1.0))
+        log.admit(entry("b", 2.0))
+        assert not log.would_admit(0.5)  # not worse than the best kept
+        assert log.would_admit(1.5)
+
+    def test_admit_returns_false_when_raced_out(self):
+        """A request that passed would_admit can still lose the race to a
+        worse one admitted in between; admit() says so instead of lying."""
+        log = SlowQueryLog(1)
+        log.admit(entry("a", 1.0))
+        assert not log.admit(entry("b", 0.5))
+        assert [e.key for e in log.entries()] == ["a"]
+
+
+class TestEviction:
+    def test_keeps_the_worst_n(self):
+        log = SlowQueryLog(3)
+        for i, wall in enumerate([0.1, 0.5, 0.3, 0.9, 0.2, 0.7]):
+            log.admit(entry(f"q{i}", wall))
+        assert [e.wall_s for e in log.entries()] == [0.9, 0.7, 0.5]
+        assert log.admitted == 5  # 0.2 never displaced anything
+
+    def test_entries_sorted_worst_first_stable_on_ties(self):
+        log = SlowQueryLog(4)
+        log.admit(entry("first", 1.0))
+        log.admit(entry("second", 1.0))
+        log.admit(entry("worst", 2.0))
+        assert [e.key for e in log.entries()] == ["worst", "first", "second"]
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_data(self):
+        log = SlowQueryLog(2, threshold_s=0.1)
+        log.admit(
+            entry(
+                "u/dash/load",
+                1.5,
+                outcome="degraded",
+                context={"node": 0},
+                ledgers={"zone": {"wall_s": 1.5}},
+                events=[{"kind": "cache.literal"}],
+                explain={"zone": "market"},
+            )
+        )
+        snap = log.snapshot()
+        assert snap["capacity"] == 2 and snap["threshold_s"] == 0.1
+        (e,) = snap["entries"]
+        assert e["key"] == "u/dash/load"
+        assert e["outcome"] == "degraded"
+        assert e["ledgers"]["zone"]["wall_s"] == 1.5
+        assert e["explain"] == {"zone": "market"}
+
+    def test_reset_clears_entries_and_counters(self):
+        log = SlowQueryLog(2)
+        log.admit(entry("a", 1.0))
+        log.reset()
+        assert len(log) == 0
+        assert log.considered == 0 and log.admitted == 0

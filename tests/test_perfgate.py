@@ -124,6 +124,74 @@ class TestMain:
         assert perfgate.main(["--self-test", "--tolerance-profile", "ci"]) == 0
 
 
+class TestToleranceResolution:
+    def test_exact_entry_wins_over_glob_and_wildcard(self):
+        profile = {"*": 0.75, "e6_*": 2.0, "e6_query_caching": 1.5}
+        assert perfgate.tolerance_for("e6_query_caching", profile) == 1.5
+
+    def test_glob_entry_matches_family(self):
+        profile = {"*": 0.75, "e6*": 1.5}
+        assert perfgate.tolerance_for("e6b_interaction_trace", profile) == 1.5
+        assert perfgate.tolerance_for("e20_herd", profile) == 0.75
+
+    def test_uncovered_experiment_raises_with_actionable_message(self):
+        with pytest.raises(KeyError, match="no tolerance entry"):
+            perfgate.tolerance_for("e99_new", {"e1_pipeline": 0.5})
+
+    def test_every_committed_baseline_is_priced(self):
+        # A baseline the profiles cannot price would fail the gate at the
+        # worst time: in CI, on an unrelated PR.
+        for profile in perfgate.TOLERANCE_PROFILES.values():
+            for path in perfgate.BASELINES_DIR.glob("BENCH_*.json"):
+                perfgate.tolerance_for(perfgate.experiment_name(path), profile)
+
+    def test_gate_reports_missing_coverage_as_problem(self, tmp_path, capsys):
+        results = tmp_path / "_results"
+        baselines = tmp_path / "_baselines"
+        _write(baselines, _bench("e99_demo", [["cold", 1, 100.0]]))
+        _write(results, _bench("e99_demo", [["cold", 1, 100.0]]))
+        code = perfgate.main(
+            ["--results", str(results), "--baselines", str(baselines)]
+        )
+        assert code == 0  # the shipped profiles carry a "*" wildcard
+        _drifts, problems = perfgate.gate(
+            results, baselines, {"e1_pipeline": 0.5}, "*"
+        )
+        assert any("no tolerance entry" in p for p in problems)
+
+    def test_gate_flags_unpriced_fresh_results_without_baselines(self, tmp_path):
+        """A brand-new experiment with results but no baseline yet must
+        still be priceable — the coverage check runs before blessing."""
+        results = tmp_path / "_results"
+        baselines = tmp_path / "_baselines"
+        _write(baselines, _bench("e1_pipeline", [["cold", 1, 100.0]]))
+        _write(results, _bench("e1_pipeline", [["cold", 1, 100.0]]))
+        _write(results, _bench("e99_new", [["cold", 1, 50.0]]))
+        _drifts, problems = perfgate.gate(
+            results, baselines, {"e1_pipeline": 0.5}, "*"
+        )
+        assert any("e99_new" in p and "no tolerance entry" in p for p in problems)
+
+
+class TestListExperiments:
+    def test_lists_committed_benchmarks_in_numeric_order(self):
+        from benchmarks import run_all
+
+        listed = run_all.list_experiments()
+        ids = [exp_id for exp_id, _name in listed]
+        assert "e1" in ids and "e21" in ids
+        assert ids.index("e2") < ids.index("e10")  # numeric, not lexical
+        by_id = dict(listed)
+        assert by_id["e21"] == "e21_telemetry"
+
+    def test_main_list_flag_prints_and_exits_zero(self, capsys):
+        from benchmarks import run_all
+
+        assert run_all.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e21" in out and "e21_telemetry" in out
+
+
 class TestKeyMetric:
     def test_largest_time_cell_wins(self):
         payload = _bench("e", [["cold", 1, 100.0], ["hit", 0, 1.0]])
