@@ -61,12 +61,19 @@ TOLERANCE_PROFILES: dict[str, dict[str, float]] = {
         # twice (telemetry off/on); proportional noise is large, and the
         # benchmark's own overhead-ratio assertion is the real guard.
         "e21_telemetry": 1.5,
+        # E22 gates machine-independent overhead *ratios*; absolute walls
+        # are informational. The off-arm ratio hovers around 1.0 with
+        # ±10% run-to-run noise, so the gate only catches gross drift —
+        # the hard bounds (off <= 1.1x, on <= 1.5x) are asserted inside
+        # the benchmark itself and fail the run regardless of tolerance.
+        "e22_trace_attribution": 0.25,
     },
     "ci": {
         "*": 3.0,
         "e6_query_caching": 5.0,
         "e6b_interaction_trace": 5.0,
         "e21_telemetry": 5.0,
+        "e22_trace_attribution": 5.0,
     },
 }
 

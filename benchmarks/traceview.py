@@ -1,0 +1,156 @@
+"""traceview: render exported trace JSONL as timelines and critical paths.
+
+The serving stack exports retained traces (the tail-based
+:class:`~repro.obs.sampling.TraceBuffer`) as JSONL — one
+:meth:`~repro.obs.trace.Span.to_dict` tree per line; E22 writes
+``benchmarks/_results/traces_e22.jsonl``. This CLI is the operator's
+view over such a file:
+
+* the **aggregate report** — which component dominates the slow tail's
+  critical paths, and the most expensive component-path signatures;
+* a **per-trace timeline** (``--trace <id>``) — the span tree with
+  offsets, durations and causal links, followed by that trace's
+  critical path with each segment charged to a component.
+
+Usage::
+
+    python benchmarks/traceview.py benchmarks/_results/traces_e22.jsonl
+    python benchmarks/traceview.py traces.jsonl --trace 0000000000000007
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # running as a script: make src importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.critpath import aggregate_report, critical_path, link_resolver
+from repro.obs.trace import Span, stitch
+
+
+def load_traces(path: Path) -> list[Span]:
+    """Read one span tree per JSONL line; stitch cross-node fragments."""
+    roots: list[Span] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            roots.append(Span.from_dict(json.loads(line)))
+    return stitch(roots)
+
+
+# ---------------------------------------------------------------------- #
+# Rendering
+# ---------------------------------------------------------------------- #
+def render_timeline(root: Span) -> str:
+    """The span tree as an indented timeline (offsets relative to root)."""
+    lines = [f"trace {root.trace_id}  wall {root.duration_s * 1000:.3f}ms"]
+
+    def emit(span: Span, depth: int) -> None:
+        offset_ms = (span.start_s - root.start_s) * 1000
+        links = ""
+        if span.links:
+            links = "  " + " ".join(
+                f"~{link.kind}->{link.trace_id}" for link in span.links
+            )
+        lines.append(
+            "  " * (depth + 1)
+            + f"[+{offset_ms:9.3f}ms] {span.name}  {span.duration_s * 1000:.3f}ms"
+            + links
+        )
+        for child in span.children:
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_critical_path(root: Span, roots: list[Span]) -> str:
+    """The trace's critical path, one charged segment per line."""
+    segments = critical_path(root, resolve_link=link_resolver(roots))
+    lines = ["critical path:"]
+    for seg in segments:
+        via = f"  (via {seg.via})" if seg.via else ""
+        lines.append(
+            f"  {seg.duration_s * 1000:9.3f}ms  {seg.component:<10} {seg.name}{via}"
+        )
+    total = sum(seg.duration_s for seg in segments)
+    lines.append(f"  {total * 1000:9.3f}ms  total (= trace wall)")
+    return "\n".join(lines)
+
+
+def render_report(roots: list[Span], *, top: int = 5, percentile: float = 0.95) -> str:
+    """The aggregate what-dominates-the-tail view over all traces."""
+    report = aggregate_report(roots, percentile=percentile)
+    lines = [
+        f"traces: {report['traces']}  analyzed (>= p{int(percentile * 100)}"
+        f" = {report['threshold_s'] * 1000:.3f}ms): {report['analyzed']}",
+        "",
+        "component         self_s      share",
+        "---------------  ---------  -------",
+    ]
+    for row in report["components"]:
+        lines.append(
+            f"{row['component']:<15}  {row['self_s']:9.4f}  {row['share']:6.1%}"
+        )
+    if report["dominant"] is not None:
+        lines.append(f"\ndominant: {report['dominant']}")
+    lines.append("\ntop critical-path signatures:")
+    for bucket in report["top_paths"][:top]:
+        lines.append(
+            f"  {bucket['total_s']:9.4f}s  x{bucket['count']:<4} {bucket['path']}"
+        )
+    return "\n".join(lines)
+
+
+def render(
+    roots: list[Span],
+    *,
+    trace_id: str | None = None,
+    top: int = 5,
+    percentile: float = 0.95,
+) -> str:
+    """Full report text: aggregate view plus the focused/slowest trace."""
+    if not roots:
+        return "(no traces)"
+    if trace_id is not None:
+        focus = [r for r in roots if r.trace_id == trace_id]
+        if not focus:
+            known = ", ".join(sorted({r.trace_id for r in roots})[:10])
+            return f"no trace {trace_id!r} in file (known: {known}, ...)"
+        root = focus[0]
+        return render_timeline(root) + "\n" + render_critical_path(root, roots)
+    slowest = max(roots, key=lambda r: (r.duration_s, r.trace_id))
+    return "\n".join(
+        [
+            render_report(roots, top=top, percentile=percentile),
+            "",
+            f"slowest trace ({slowest.trace_id}):",
+            render_timeline(slowest),
+            render_critical_path(slowest, roots),
+        ]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", type=Path, help="trace JSONL file")
+    parser.add_argument("--trace", help="render one trace id instead of the report")
+    parser.add_argument("--top", type=int, default=5, help="top path signatures")
+    parser.add_argument(
+        "--percentile", type=float, default=0.95, help="slow-tail percentile"
+    )
+    args = parser.parse_args(argv)
+    if not args.path.exists():
+        print(f"traceview: no such file {args.path}", file=sys.stderr)
+        return 1
+    roots = load_traces(args.path)
+    print(render(roots, trace_id=args.trace, top=args.top, percentile=args.percentile))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,6 +63,12 @@ class ConnectionPool:
         self._opening = 0  # slots reserved by in-flight connect() calls
         self._lock = threading.Condition()
         self._closed = False
+        #: id(conn) -> TraceContext of the current / most recent holder.
+        #: Populated only while tracing is on; a caller that *blocked*
+        #: for a connection links ``pool.waited_behind`` to the request
+        #: it queued behind, so pool contention is causally attributed.
+        self._holders: dict[int, object] = {}
+        self._last_holder: dict[int, object] = {}
 
     # ------------------------------------------------------------------ #
     def acquire(self, *, prefer_temp_table: str | None = None) -> Connection:
@@ -85,6 +91,8 @@ class ConnectionPool:
                 if conn is not None:
                     self._busy.add(conn)
                     self.stats.reused += 1
+                    if obs.enabled():
+                        self._note_checkout(conn, waited=wait_started is not None)
                     if prefer_temp_table is not None and conn.has_temp_table(
                         prefer_temp_table
                     ):
@@ -128,6 +136,8 @@ class ConnectionPool:
             self._opening -= 1
             self._busy.add(conn)
             self.stats.opened += 1
+            if obs.enabled():
+                self._note_checkout(conn, waited=False)
             self._record_acquire(
                 "opened",
                 wait_started,
@@ -135,6 +145,20 @@ class ConnectionPool:
                 f"({len(self._busy) + len(self._idle)}/{self.max_connections})",
             )
         return conn
+
+    def _note_checkout(self, conn: Connection, *, waited: bool) -> None:
+        """Trace bookkeeping at checkout (caller holds the lock, obs on)."""
+        if waited:
+            span = obs.current_span()
+            if span is not None and span.trace_id:
+                # The previous holder is why this caller queued: record
+                # the causal edge (a no-op when that request ran untraced).
+                span.add_link(
+                    "pool.waited_behind",
+                    self._last_holder.get(id(conn)),
+                    source=self.source.name,
+                )
+        self._holders[id(conn)] = obs.current_trace_context()
 
     def _record_acquire(
         self, how: str, wait_started: float | None, reason: str
@@ -178,6 +202,8 @@ class ConnectionPool:
             return
         with self._lock:
             self._busy.discard(conn)
+            if self._holders:
+                self._last_holder[id(conn)] = self._holders.pop(id(conn), None)
             if conn.is_open and not self._closed:
                 self._idle.append(conn)
             self._lock.notify()
@@ -188,6 +214,8 @@ class ConnectionPool:
         """Close and drop a (suspected dead) member, feeding the breaker."""
         with self._lock:
             self._busy.discard(conn)
+            self._holders.pop(id(conn), None)
+            self._last_holder.pop(id(conn), None)
             conn.close()
             self.stats.discarded += 1
             self._lock.notify()
@@ -262,4 +290,6 @@ class ConnectionPool:
             for conn in self._idle:
                 conn.close()
             self._idle.clear()
+            self._holders.clear()
+            self._last_holder.clear()
             self._lock.notify_all()

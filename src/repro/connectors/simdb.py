@@ -299,7 +299,11 @@ class SimSession:
             plan = self._resolve(plan)
             estimate = estimate_plan(plan, self.db.engine.catalog)
             cpu = estimate.cost * self.db.profile.work_unit_time_s
-            self.db.service(cpu, self.db.profile.query_overhead_s)
+            with obs.span("simdb.service", server=self.db.name):
+                # Queueing for worker slots + the modeled CPU burn: the
+                # part of a backend query that contends, in its own span
+                # so backend time splits into "service" vs row transfer.
+                self.db.service(cpu, self.db.profile.query_overhead_s)
             result = self.db.engine.query(plan)
             transfer = result.n_rows * self.db.profile.transfer_row_time_s
             self.db._sleep(transfer)

@@ -356,20 +356,31 @@ class IntelligentCache:
         self.stats = IntelligentCacheStats()
         self._entries: dict[str, CacheEntry] = {}
         self._specs: dict[str, QuerySpec] = {}
+        #: key -> TraceContext of the request that paid to produce the
+        #: entry (only populated while tracing is on). A later hit links
+        #: ``cache.populated_by`` to it, so a prefetch-warmed hit's
+        #: provenance — *whose* work it reused — is first-class.
+        self._origins: dict[str, "obs.TraceContext"] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     def put(self, spec: QuerySpec, result: Table, *, cost_s: float = 0.0) -> None:
         key = spec.canonical()
+        origin = obs.current_trace_context() if obs.enabled() else None
         with self._lock:
             self._entries[key] = CacheEntry(
                 key, spec.datasource, result, result.nbytes, cost_s
             )
             self._specs[key] = spec
+            if origin is not None:
+                self._origins[key] = origin
+            else:
+                self._origins.pop(key, None)
             if self.index is not None:
                 self.index.add(key, spec)
             for evicted in self.policy.purge(self._entries):
                 self._specs.pop(evicted, None)
+                self._origins.pop(evicted, None)
                 if self.index is not None:
                     self.index.remove(evicted)
                 self.stats.evictions += 1
@@ -390,6 +401,7 @@ class IntelligentCache:
             if exact is not None:
                 exact.touch()
                 self.stats.exact_hits += 1
+                self._link_origin(key)
                 obs.counter("cache.intelligent.exact_hits").inc()
                 obs.event(
                     "cache.subsumption",
@@ -435,6 +447,7 @@ class IntelligentCache:
             match, entry = best
             entry.touch()
             self.stats.subsumption_hits += 1
+            self._link_origin(entry.key)
             obs.counter("cache.intelligent.subsumption_hits").inc()
             if obs.events_enabled():
                 ops = [type(op).__name__ for op in match.post_ops]
@@ -449,6 +462,17 @@ class IntelligentCache:
                 )
             table = entry.value
         return apply_post_ops(table, match.post_ops)
+
+    def _link_origin(self, key: str) -> None:
+        """Link the current span to the trace that populated ``key``."""
+        if not obs.enabled():
+            return
+        origin = self._origins.get(key)
+        if origin is None:
+            return
+        span = obs.current_span()
+        if span is not None and span.trace_id and span.trace_id != origin.trace_id:
+            span.add_link("cache.populated_by", origin, key=key)
 
     @staticmethod
     def _work(match: MatchResult, entry: CacheEntry) -> tuple[int, int]:
@@ -481,6 +505,7 @@ class IntelligentCache:
                 n = len(self._entries)
                 self._entries.clear()
                 self._specs.clear()
+                self._origins.clear()
                 if self.index is not None:
                     self.index.clear()
                 return n
@@ -488,6 +513,7 @@ class IntelligentCache:
             for k in doomed:
                 del self._entries[k]
                 del self._specs[k]
+                self._origins.pop(k, None)
                 if self.index is not None:
                     self.index.remove(k)
             return len(doomed)

@@ -51,7 +51,7 @@ class CoalesceTimeoutError(SourceUnavailableError):
 class _Flight:
     """One in-flight execution: the leader's promise to its followers."""
 
-    __slots__ = ("spec", "key", "followers", "_done", "_table", "_error")
+    __slots__ = ("spec", "key", "followers", "_done", "_table", "_error", "ctx")
 
     def __init__(self, spec: QuerySpec):
         self.spec = spec
@@ -60,6 +60,11 @@ class _Flight:
         self._done = threading.Event()
         self._table = None
         self._error: SourceError | None = None
+        #: The leader request's TraceContext (None while tracing is off):
+        #: followers link their coalesce wait to the trace that actually
+        #: ran the query, so the critical-path analyzer can descend into
+        #: the leader's backend fetch.
+        self.ctx = None
 
     def _resolve(self, table, error: SourceError | None) -> None:
         self._table = table
@@ -200,6 +205,8 @@ class SingleFlightRegistry:
                             break
                 if ticket is None:
                     flight = _Flight(spec)
+                    if obs.enabled():
+                        flight.ctx = obs.current_trace_context()
                     self._flights[key] = flight
                     self.stats.leads += 1
         if ticket is not None:

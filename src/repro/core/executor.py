@@ -18,8 +18,9 @@ raising, so one dead source degrades its own specs, never the batch.
 
 Observability: each query runs under an ``executor.query`` span. Because
 ``contextvars`` do not flow into pool workers by themselves, the batch
-entry point captures the submitting thread's current span and re-attaches
-it inside each worker, so executor spans nest under the pipeline's
+entry point wraps the worker body with :func:`repro.obs.bind`, which
+captures the submitting thread's current span and re-attaches it inside
+each worker, so executor spans nest under the pipeline's
 ``remote_execution`` phase. An ``executor.inflight`` gauge (high-water =
 peak concurrency), an ``executor.queue_depth`` gauge and an
 ``executor.query_s`` latency histogram feed the metrics registry.
@@ -179,13 +180,12 @@ class ConcurrentQueryExecutor:
             return [self.run_one(c, capture_errors=capture_errors) for c in compiled]
         workers = min(self.max_workers, len(compiled))
         obs.gauge("executor.queue_depth").set(len(compiled))
-        # Hand the submitting context's span to the workers so their
-        # spans join this trace instead of starting new roots.
-        parent = obs.current_span()
 
-        def traced(query: CompiledQuery) -> ExecutionOutcome:
-            with obs.attach(parent):
-                return self.run_one(query, capture_errors=capture_errors)
+        def work(query: CompiledQuery) -> ExecutionOutcome:
+            return self.run_one(query, capture_errors=capture_errors)
 
+        # obs.bind carries the submitting context's span into the pool
+        # workers, so their spans join this trace instead of starting new
+        # roots (and it is the identity function while tracing is off).
         with ThreadPoolExecutor(max_workers=workers) as tp:
-            return list(tp.map(traced, compiled))
+            return list(tp.map(obs.bind(work), compiled))

@@ -361,6 +361,10 @@ class QueryPipeline:
         with obs.span("pipeline.coalesce_wait", followers=len(followers)) as wait_span:
             for spec, ticket in followers:
                 key = spec.canonical()
+                # The wait's latency belongs to whichever request is
+                # leading the flight: record the causal edge so the
+                # critical-path analyzer charges the leader's work.
+                wait_span.add_link("coalesce.leader", ticket.flight.ctx, key=key)
                 t_wait = book.now() if book is not None else 0.0
                 outcome = ticket.wait(
                     self.options.coalesce_wait_timeout_s, clock=self.coalescer.clock

@@ -80,15 +80,20 @@ class InteractionPrefetcher:
             zone=zone_name,
             specs=len(specs),
         )
+        # Capture the triggering request's trace identity before the
+        # hand-off: the warm runs as its *own* root (the trigger request
+        # usually finishes first) with a causal link back, rather than
+        # attaching to a span that may already be closed.
+        trigger = obs.current_trace_context() if obs.enabled() else None
         if self.background:
             thread = threading.Thread(
-                target=self._warm, args=(session, specs), daemon=True
+                target=self._warm, args=(session, specs, trigger), daemon=True
             )
             with self._lock:
                 self._threads.append(thread)
             thread.start()
         else:
-            self._warm(session, specs)
+            self._warm(session, specs, trigger)
         return len(specs)
 
     def wait(self, timeout: float | None = None) -> None:
@@ -144,11 +149,23 @@ class InteractionPrefetcher:
                 unique.append(s)
         return unique
 
-    def _warm(self, session: "DashboardSession", specs: list[QuerySpec]) -> None:
+    def _warm(
+        self,
+        session: "DashboardSession",
+        specs: list[QuerySpec],
+        trigger=None,
+    ) -> None:
         reuse = frozenset(
             action.field for action in session.dashboard.actions
         )
-        result = session.pipeline.run_batch(specs, reuse_fields=reuse)
+        # A fresh root in the worker thread (no contextvar leaks in from
+        # here), linked to the interaction that predicted these specs.
+        with obs.span("prefetch.warm", specs=len(specs)) as warm_span:
+            if trigger is not None and trigger.trace_id != warm_span.trace_id:
+                # Synchronous warms run inside the trigger's own trace;
+                # the cross-trace edge only exists for background warms.
+                warm_span.add_link("prefetch.triggered_by", trigger)
+            result = session.pipeline.run_batch(specs, reuse_fields=reuse)
         with self._lock:
             self.stats.specs_prefetched += len(result.tables)
             self.stats.batches += 1

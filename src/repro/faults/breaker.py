@@ -59,6 +59,10 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         self.trips = 0
         self.rejections = 0
+        #: TraceContext of the request whose failure tripped the breaker
+        #: (None while tracing is off). Rejected requests link to it:
+        #: their fast-fail latency was inherited from that trace's outage.
+        self._opened_by = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -102,6 +106,12 @@ class CircuitBreaker:
                 )
             self.rejections += 1
             remaining = self.recovery_s - (self.clock.monotonic() - self._opened_at)
+            if obs.enabled():
+                span = obs.current_span()
+                if span is not None and span.trace_id:
+                    span.add_link(
+                        "breaker.opened_by", self._opened_by, breaker=self.name
+                    )
             obs.counter("breaker.rejections").inc()
             if obs.events_enabled():
                 obs.event(
@@ -154,6 +164,7 @@ class CircuitBreaker:
     def _trip(self, reason: str) -> None:
         # Caller holds the lock.
         self._state = OPEN
+        self._opened_by = obs.current_trace_context() if obs.enabled() else None
         self._opened_at = self.clock.monotonic()
         self._half_open_inflight = 0
         self._failures = 0

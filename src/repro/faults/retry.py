@@ -71,10 +71,21 @@ def call_with_retry(
     """
     clock = clock or SYSTEM_CLOCK
     attempt = 0
+    prior_ctx = None
     while True:
         attempt += 1
         try:
-            result = fn()
+            if attempt == 1 or not obs.enabled():
+                # The first try is the hot path: no extra span, no link.
+                result = fn()
+            else:
+                if prior_ctx is None:
+                    # The chain starts at the context attempt 1 failed in.
+                    prior_ctx = obs.current_trace_context()
+                with obs.span("retry.attempt", attempt=attempt, key=key) as attempt_span:
+                    attempt_span.add_link("retry.prior_attempt", prior_ctx)
+                    prior_ctx = attempt_span.context
+                    result = fn()
         except retry_on as exc:
             if attempt >= policy.max_attempts:
                 if obs.events_enabled():

@@ -47,9 +47,21 @@ from .metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from .critpath import Segment, aggregate_report, critical_path, link_resolver
+from .names import LINK_KINDS, SPAN_REGISTRY, component_of
 from .recording import SCHEMA_VERSION, PerformanceRecording
+from .sampling import SamplingPolicy, TraceBuffer
 from .slowlog import SlowQueryEntry, SlowQueryLog
-from .trace import NULL_TRACER, NullTracer, Span, Tracer, VirtualClock
+from .trace import (
+    NULL_TRACER,
+    Link,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    VirtualClock,
+    stitch,
+)
 from .window import (
     SLOMonitor,
     SLOObjective,
@@ -65,7 +77,9 @@ __all__ = [
     "EventLog",
     "Gauge",
     "Histogram",
+    "LINK_KINDS",
     "LedgerBook",
+    "Link",
     "MetricsRegistry",
     "NullEventLog",
     "NullMetricsRegistry",
@@ -76,18 +90,29 @@ __all__ = [
     "SCHEMA_VERSION",
     "SLOMonitor",
     "SLOObjective",
+    "SPAN_REGISTRY",
+    "SamplingPolicy",
+    "Segment",
     "SlowQueryEntry",
     "SlowQueryLog",
     "Span",
     "Telemetry",
     "TelemetryOptions",
+    "TraceBuffer",
+    "TraceContext",
     "Tracer",
     "VirtualClock",
     "WindowSet",
     "WindowedHistogram",
+    "activate",
+    "aggregate_report",
     "attach",
+    "bind",
+    "component_of",
     "counter",
+    "critical_path",
     "current_span",
+    "current_trace_context",
     "disable",
     "enable",
     "enabled",
@@ -98,11 +123,13 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "histogram",
+    "link_resolver",
     "recording",
     "set_events",
     "set_metrics",
     "set_tracer",
     "span",
+    "stitch",
 ]
 
 _tracer: Tracer | NullTracer = NULL_TRACER
@@ -162,9 +189,20 @@ def set_events(events: EventLog | NullEventLog) -> EventLog | NullEventLog:
     return previous
 
 
-def enable(clock: Callable[[], float] | None = None) -> PerformanceRecording:
-    """Turn observability on; returns the recording being captured."""
+def enable(
+    clock: Callable[[], float] | None = None,
+    *,
+    sink: Callable[[Span], Any] | None = None,
+) -> PerformanceRecording:
+    """Turn observability on; returns the recording being captured.
+
+    ``sink`` diverts completed trace roots out of the tracer (e.g. to a
+    bounded :class:`TraceBuffer` via ``buffer.offer``) so a long-lived
+    process does not accumulate every trace for the recording's lifetime.
+    """
     tracer = Tracer(clock=clock)
+    if sink is not None:
+        tracer.set_sink(sink)
     metrics = MetricsRegistry()
     events = EventLog(clock=clock)
     set_tracer(tracer)
@@ -226,6 +264,45 @@ def current_span() -> Span | None:
 def attach(parent: Span | None):
     """Adopt ``parent`` as the current span inside a worker thread."""
     return _tracer.attach(parent)
+
+
+def current_trace_context() -> TraceContext | None:
+    """The current trace identity: the open span's, or an activated wire's.
+
+    This is what request envelopes serialize (``ctx.to_wire()``) and
+    what causal link sites capture — free (None) when tracing is off.
+    """
+    return _tracer.context()
+
+
+def activate(context: TraceContext | None):
+    """Enter a trace context received across a node hop.
+
+    The next span opened in the block roots a new tree carrying the
+    sender's trace_id (stitched later by :func:`stitch`); ``None`` — an
+    envelope without trace headers — is a transparent no-op.
+    """
+    return _tracer.activate(context)
+
+
+def bind(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Make ``fn`` carry the *current* span into whatever thread runs it.
+
+    The fan-out ergonomics fix: ``pool.map(obs.bind(work), items)``
+    replaces hand-written capture/attach pairs at every submission site.
+    Returns ``fn`` unchanged when tracing is off, so the disabled path
+    keeps zero wrapper overhead.
+    """
+    tracer = _tracer
+    if not tracer.enabled:
+        return fn
+    parent = tracer.current()
+
+    def bound(*args: Any, **kwargs: Any) -> Any:
+        with tracer.attach(parent):
+            return fn(*args, **kwargs)
+
+    return bound
 
 
 def counter(name: str):

@@ -1,0 +1,259 @@
+"""Critical-path analysis: which component determined a response time.
+
+A span tree says where time was *spent*; the critical path says where
+time was *determinative* — the single chain of work such that shortening
+it would have shortened the response. The algorithm is the classic
+backward walk over a span tree (as in Jaeger's critical-path view):
+
+1. Start at the root's end and walk backwards. Repeatedly take the
+   last-finishing child that ends at or before the cursor; the gap
+   between that child's end and the cursor is the *parent's* self-time
+   (it was the only thing running), then recurse into the child over its
+   own window and move the cursor to the child's start.
+2. Children overlapping an interval already attributed (concurrent
+   siblings that finished later than the chosen one) are skipped — a
+   concurrent sibling was, by construction, not determinative.
+
+The result is a list of :class:`Segment` that exactly partitions
+``[root.start_s, root.end_s]``: segment durations sum to the root's wall
+time (the conservation property the tests pin down), and each segment
+charges one component (via :func:`repro.obs.names.component_of`).
+
+**Links** extend the walk across traces. When a span with self-time on
+the path carries a causal :class:`~repro.obs.trace.Link` (a coalesce
+follower's wait, a cache hit's populating trace), the analyzer resolves
+the link target and — where the target's span overlaps the charged
+window in absolute time (same clock, by construction of the link sites)
+— descends into the *other* trace instead of charging the wait. A
+coalesce follower's critical path thereby runs through the leader's
+backend fetch, which is the true answer to "why was this request slow".
+
+:func:`aggregate_report` runs the analyzer over the slow tail of a trace
+set and ranks components by total self-time: the "what dominates p95"
+view E22 asserts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .names import component_of
+from .trace import Link, Span
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One critical-path interval charged to a single span/component."""
+
+    name: str
+    component: str
+    trace_id: str
+    start_s: float
+    end_s: float
+    #: Link kind through which the path entered this trace ("" for the
+    #: request's own trace).
+    via: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "component": self.component,
+            "trace_id": self.trace_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "self_s": self.duration_s,
+        }
+        if self.via:
+            out["via"] = self.via
+        return out
+
+
+def link_resolver(roots: list[Span]) -> Callable[[Link], Span | None]:
+    """Build a link -> span resolver over a set of trace roots.
+
+    Resolves by exact ``(trace_id, span_id)``; falls back to the target
+    trace's root when the precise span is unknown (e.g. the leader's
+    trace was exported but re-rooted across a node hop).
+    """
+    index: dict[tuple[str, str], Span] = {}
+    by_trace: dict[str, Span] = {}
+    for root in roots:
+        by_trace.setdefault(root.trace_id, root)
+        for span in root.walk():
+            index[(span.trace_id, span.span_id)] = span
+
+    def resolve(link: Link) -> Span | None:
+        span = index.get((link.trace_id, link.span_id))
+        if span is None:
+            span = by_trace.get(link.trace_id)
+        return span
+
+    return resolve
+
+
+def critical_path(
+    root: Span,
+    *,
+    resolve_link: Callable[[Link], Span | None] | None = None,
+    max_link_depth: int = 2,
+) -> list[Segment]:
+    """The chronological critical path of one trace.
+
+    Without ``resolve_link``, waits that point at other traces are
+    charged to the waiting span itself; with it, the path descends into
+    linked traces (up to ``max_link_depth`` hops) wherever the target
+    overlaps the charged window in absolute time.
+    """
+    if root.end_s is None:
+        return []
+    out: list[Segment] = []
+    _descend(root, root.start_s, root.end_s, out, resolve_link, max_link_depth, "")
+    out.reverse()  # segments were emitted walking backwards from the end
+    return out
+
+
+def _descend(
+    span: Span,
+    lo: float,
+    hi: float,
+    out: list[Segment],
+    resolve: Callable[[Link], Span | None] | None,
+    depth: int,
+    via: str,
+) -> None:
+    cursor = hi
+    # Closed children only, last-finishing first; the (end, start, name)
+    # key makes tie order deterministic for zero-width virtual-time spans.
+    kids = sorted(
+        (c for c in span.children if c.end_s is not None),
+        key=lambda c: (c.end_s, c.start_s, c.name),
+    )
+    while kids and cursor > lo:
+        child = kids.pop()
+        if child.end_s > cursor:
+            continue  # concurrent sibling: its window is already attributed
+        if child.end_s <= lo:
+            break
+        child_lo = max(child.start_s, lo)
+        # (child.end, cursor]: only `span` itself was determinative.
+        _self_time(span, child.end_s, cursor, out, resolve, depth, via)
+        _descend(child, child_lo, child.end_s, out, resolve, depth, via)
+        cursor = child_lo
+    _self_time(span, lo, cursor, out, resolve, depth, via)
+
+
+def _self_time(
+    span: Span,
+    lo: float,
+    hi: float,
+    out: list[Segment],
+    resolve: Callable[[Link], Span | None] | None,
+    depth: int,
+    via: str,
+) -> None:
+    """Charge [lo, hi) to ``span`` — or follow a causal link through it."""
+    if hi - lo <= 0.0:
+        return
+    if resolve is not None and depth > 0 and span.links:
+        for link in span.links:
+            target = resolve(link)
+            if target is None or target is span or target.end_s is None:
+                continue
+            a = max(lo, target.start_s)
+            b = min(hi, target.end_s)
+            if b <= a:
+                continue  # no absolute-time overlap: the link explains nothing here
+            # Emitting backwards: trailing remainder, linked trace, leading
+            # remainder — reversed later into chronological order.
+            if hi > b:
+                out.append(Segment(span.name, component_of(span.name), span.trace_id, b, hi, via))
+            _descend(target, a, b, out, resolve, depth - 1, link.kind)
+            if a > lo:
+                out.append(Segment(span.name, component_of(span.name), span.trace_id, lo, a, via))
+            return
+    out.append(Segment(span.name, component_of(span.name), span.trace_id, lo, hi, via))
+
+
+def slowlog_path(root, buffer=None) -> list[dict] | None:
+    """Critical-path rows for a slow-log entry (None for untraced requests).
+
+    ``buffer`` (a :class:`~repro.obs.sampling.TraceBuffer`) supplies the
+    other retained traces so links — the coalesce leader, the populating
+    prefetch — resolve when their traces were kept.
+    """
+    if root is None or not getattr(root, "trace_id", "") or root.end_s is None:
+        return None
+    roots = [root]
+    if buffer is not None:
+        roots = roots + [r for r in buffer.traces() if r is not root]
+    resolve = link_resolver(roots)
+    return [seg.to_dict() for seg in critical_path(root, resolve_link=resolve)]
+
+
+# ---------------------------------------------------------------------- #
+# Aggregate: what dominates the slow tail of a trace set
+# ---------------------------------------------------------------------- #
+def aggregate_report(
+    roots: list[Span],
+    *,
+    percentile: float = 0.95,
+    resolve_link: Callable[[Link], Span | None] | None = None,
+    max_link_depth: int = 2,
+) -> dict[str, Any]:
+    """Rank components by critical-path self-time over the slow tail.
+
+    Analyzes every trace whose wall time is at or above the requested
+    percentile of the set (so "what dominates p95" is literal), charging
+    linked traces' work where links resolve within ``roots``.
+    """
+    closed = [r for r in roots if r.end_s is not None]
+    if not closed:
+        return {
+            "traces": 0,
+            "analyzed": 0,
+            "threshold_s": 0.0,
+            "components": [],
+            "dominant": None,
+            "top_paths": [],
+        }
+    resolve = resolve_link or link_resolver(closed)
+    walls = sorted(r.duration_s for r in closed)
+    threshold = walls[min(int(len(walls) * percentile), len(walls) - 1)]
+    slow = [r for r in closed if r.duration_s >= threshold]
+
+    components: dict[str, float] = {}
+    paths: dict[str, dict[str, Any]] = {}
+    for root in slow:
+        segments = critical_path(root, resolve_link=resolve, max_link_depth=max_link_depth)
+        # The path signature: distinct components in first-touch order.
+        signature = " > ".join(dict.fromkeys(s.component for s in segments))
+        bucket = paths.setdefault(signature, {"path": signature, "count": 0, "total_s": 0.0})
+        bucket["count"] += 1
+        bucket["total_s"] += root.duration_s
+        for segment in segments:
+            components[segment.component] = (
+                components.get(segment.component, 0.0) + segment.duration_s
+            )
+
+    total = sum(components.values())
+    ranked = [
+        {
+            "component": name,
+            "self_s": self_s,
+            "share": (self_s / total) if total > 0 else 0.0,
+        }
+        for name, self_s in sorted(components.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+    return {
+        "traces": len(closed),
+        "analyzed": len(slow),
+        "threshold_s": threshold,
+        "components": ranked,
+        "dominant": ranked[0]["component"] if ranked else None,
+        "top_paths": sorted(paths.values(), key=lambda p: (-p["total_s"], p["path"])),
+    }

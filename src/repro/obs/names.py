@@ -1,0 +1,73 @@
+"""The span-name registry: every span name used in ``src/`` lives here.
+
+Attribution is only as good as its labels. The critical-path analyzer
+(:mod:`repro.obs.critpath`) charges each segment of a request's wall
+time to a *component* — "backend", "cache", "executor" — and that
+mapping is keyed by span name. A drive-by span with an unregistered
+name would silently land in the catch-all bucket and rot the aggregate
+report, so a lint test (``tests/obs/test_span_registry.py``) greps
+``src/`` for ``span("...")`` literals and asserts each one appears in
+:data:`SPAN_REGISTRY` below.
+
+To add a span: pick ``<area>.<verb>`` (matching the existing style),
+register it here with the component that should be *charged* for its
+self-time, and say in the description what the span brackets.
+"""
+
+from __future__ import annotations
+
+#: span name -> (component charged for its self-time, what it brackets).
+SPAN_REGISTRY: dict[str, tuple[str, str]] = {
+    # -- server entry points ------------------------------------------- #
+    "vizserver.request": ("server", "one VizServer load/select request end to end"),
+    "dataserver.query": ("server", "one DataServer session query end to end"),
+    "cluster.query": ("server", "one TdeCluster query dispatched to a TDE node"),
+    "dashboard.render": ("render", "a full dashboard render (all zones)"),
+    "dashboard.iteration": ("render", "one render iteration over the zone list"),
+    # -- query pipeline phases ----------------------------------------- #
+    "pipeline.run_batch": ("pipeline", "a query batch through phases 0-5"),
+    "pipeline.cache_probe": ("cache", "phase 0: intelligent-cache probe"),
+    "pipeline.coalesce_wait": ("coalesce", "follower waiting on another request's leader"),
+    "pipeline.batch_graph": ("pipeline", "phase 1: batch dependency graph"),
+    "pipeline.fusion": ("pipeline", "phase 2: query fusion / subsumption folding"),
+    "pipeline.compile": ("compile", "phase 3: spec -> engine query compilation"),
+    "pipeline.remote_execution": ("executor", "phase 4: remote execution fan-out"),
+    "pipeline.post_processing": ("pipeline", "phase 5: post-ops over fetched tables"),
+    "pipeline.local_answers": ("cache", "answering derivable specs from cached results"),
+    # -- executor / connectors ----------------------------------------- #
+    "executor.query": ("executor", "one spec through the remote executor"),
+    "executor.remote_fetch": ("backend", "the remote engine executing the compiled text"),
+    "pool.connect": ("pool", "establishing a new pooled connection"),
+    "simdb.select": ("backend", "simdb parsing + serving one SELECT"),
+    "simdb.service": ("backend", "simdb's modeled service time (queue + work)"),
+    "tde.execute": ("engine", "the local TDE engine executing a physical plan"),
+    # -- background / resilience --------------------------------------- #
+    "prefetch.warm": ("prefetch", "background prefetch warming predicted specs"),
+    "retry.attempt": ("retry", "a retry attempt after a transient failure"),
+}
+
+#: Component charged when a span name is missing from the registry.
+#: The lint test exists so this stays unused in practice.
+UNKNOWN_COMPONENT = "other"
+
+
+def component_of(span_name: str) -> str:
+    """The component charged for a span's self-time on the critical path."""
+    entry = SPAN_REGISTRY.get(span_name)
+    if entry is not None:
+        return entry[0]
+    # Unregistered names fall into one catch-all bucket instead of
+    # minting ad-hoc components that would fragment aggregate reports.
+    return UNKNOWN_COMPONENT
+
+
+#: Causal link kinds (Span.add_link) — documented here so traceview and
+#: the docs can render them; the registry test asserts these too.
+LINK_KINDS: dict[str, str] = {
+    "coalesce.leader": "follower inherited latency from another request's leader flight",
+    "cache.populated_by": "cache hit served a result another trace paid to produce",
+    "prefetch.triggered_by": "background warm work caused by an earlier interaction",
+    "retry.prior_attempt": "this attempt follows a failed earlier attempt",
+    "breaker.opened_by": "request rejected by a breaker another trace tripped",
+    "pool.waited_behind": "connection checkout waited behind another trace's holder",
+}

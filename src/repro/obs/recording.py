@@ -22,7 +22,9 @@ from .trace import NullTracer, Span, Tracer
 
 #: Bump when the JSON layout changes; BENCH_*.json embeds it.
 #: v2: adds the ``events`` section (decision-event log).
-SCHEMA_VERSION = 2
+#: v3: span dicts carry trace identity (trace_id/span_id/parent_span_id)
+#:     and causal ``links``.
+SCHEMA_VERSION = 3
 
 
 class PerformanceRecording:
@@ -125,10 +127,16 @@ class PerformanceRecording:
         attrs = " ".join(
             f"{k}={v}" for k, v in span.attributes.items() if not isinstance(v, (dict, list))
         )
+        links = ""
+        if span.links:
+            links = " " + " ".join(
+                f"~{link.kind}->{link.trace_id}" for link in span.links
+            )
         lines.append(
             "  " * depth
             + f"[+{offset_ms:9.3f}ms] {span.name}  {span.duration_s * 1000:.3f}ms"
             + (f"  {attrs}" if attrs else "")
+            + links
         )
         for child in span.children:
             self._render_span(child, origin, depth + 1, max_depth, lines)

@@ -1,0 +1,139 @@
+"""Tail-based trace sampling: keep what an operator will actually read.
+
+A serving process cannot retain every trace, but dropping uniformly is
+the wrong bound — the traces worth keeping are precisely the unusual
+ones. :class:`TraceBuffer` decides *after* a trace completes (tail-based
+sampling): every slow, errored, stale-serving or breaker-touched trace
+is kept, plus a deterministic 1-in-N sample of healthy traffic as a
+baseline for comparison. Both populations live in bounded deques, so
+memory is fixed no matter how long the server runs.
+
+Determinism matters here the same way it does for ids: the sample
+decision is a pure function of the offer counter (``n % every == 1``
+keeps the first trace seen and every N-th after), never of entropy, so
+seeded runs export byte-identical trace sets.
+
+Install :meth:`TraceBuffer.offer` as a tracer sink
+(:meth:`~repro.obs.trace.Tracer.set_sink`) to bound a long recording, or
+call it per request from a server's observe path (how
+``VizServer``/``DataServer`` wire it).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from .trace import Span
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """What the buffer keeps; all thresholds are tail-based (post-hoc).
+
+    ``slow_threshold_s``
+        Traces at least this long are always kept.
+    ``sample_every_n``
+        Of the traces no keep-rule matched, keep 1 in N
+        (deterministically, by offer order). ``0`` disables sampling.
+    ``max_kept`` / ``max_sampled``
+        Bounds on the two populations; oldest evict first.
+    """
+
+    slow_threshold_s: float = 0.25
+    sample_every_n: int = 10
+    max_kept: int = 256
+    max_sampled: int = 64
+
+
+class TraceBuffer:
+    """Bounded tail-sampling store for completed trace roots.
+
+    Not thread-safe by itself beyond what the GIL gives ``deque.append``
+    and counter increments; servers call it from their (already
+    serialized) observe path or a tracer sink.
+    """
+
+    def __init__(self, policy: SamplingPolicy | None = None):
+        self.policy = policy or SamplingPolicy()
+        self._kept: deque[tuple[str, Span]] = deque(maxlen=self.policy.max_kept)
+        self._sampled: deque[Span] = deque(maxlen=self.policy.max_sampled)
+        self.offered = 0
+        self.dropped = 0
+        self.reasons: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def offer(self, root: Span, *, force: str | None = None) -> str | None:
+        """Decide a completed root's fate; returns the keep reason or None.
+
+        ``force`` lets the caller assert a reason the span tree alone
+        cannot show (e.g. the server knows the request served stale).
+        """
+        if not getattr(root, "trace_id", ""):
+            return None  # null span or foreign object: nothing to keep
+        self.offered += 1
+        reason = force or self._keep_reason(root)
+        if reason is not None:
+            self.reasons[reason] = self.reasons.get(reason, 0) + 1
+            self._kept.append((reason, root))
+            return reason
+        every = self.policy.sample_every_n
+        if every > 0 and self.offered % every == 1 % every:
+            self.reasons["sampled"] = self.reasons.get("sampled", 0) + 1
+            self._sampled.append(root)
+            return "sampled"
+        self.dropped += 1
+        return None
+
+    def _keep_reason(self, root: Span) -> str | None:
+        if root.duration_s >= self.policy.slow_threshold_s:
+            return "slow"
+        for span in root.walk():
+            if "error" in span.attributes:
+                return "error"
+            if span.attributes.get("stale") or span.attributes.get("stale_zones"):
+                return "stale"
+            if span.links:
+                for link in span.links:
+                    if link.kind.startswith("breaker."):
+                        return "breaker"
+        return None
+
+    # ------------------------------------------------------------------ #
+    def traces(self) -> list[Span]:
+        """Every retained root: kept (tail) first, then the healthy sample."""
+        return [root for _, root in self._kept] + list(self._sampled)
+
+    def find(self, trace_id: str) -> Span | None:
+        for root in self.traces():
+            if root.trace_id == trace_id:
+                return root
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        """Cheap id-level view for ``statz()`` (no span payloads)."""
+        return {
+            "offered": self.offered,
+            "kept": len(self._kept),
+            "sampled": len(self._sampled),
+            "dropped": self.dropped,
+            "reasons": dict(self.reasons),
+            "kept_trace_ids": [
+                {"trace_id": root.trace_id, "reason": reason, "wall_s": root.duration_s}
+                for reason, root in self._kept
+            ],
+        }
+
+    def export_jsonl(self) -> str:
+        """All retained roots, one JSON span tree per line (traceview input)."""
+        lines = [json.dumps(root.to_dict(), default=str) for root in self.traces()]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        self._kept.clear()
+        self._sampled.clear()
+        self.offered = 0
+        self.dropped = 0
+        self.reasons.clear()

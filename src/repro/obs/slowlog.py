@@ -45,9 +45,15 @@ class SlowQueryEntry:
     events: list[dict] = field(default_factory=list)
     #: EXPLAIN report for the worst zone's query, when captured.
     explain: dict | None = None
+    #: The request's trace identity, when tracing was on — the one-click
+    #: provenance hop from statz() slow log to the full retained trace.
+    trace_id: str | None = None
+    #: The critical-path analyzer's segments for the request's trace
+    #: (``Segment.to_dict()`` rows): which component determined the wall.
+    critical_path: list[dict] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "key": self.key,
             "wall_s": self.wall_s,
             "t_s": self.t_s,
@@ -57,6 +63,11 @@ class SlowQueryEntry:
             "events": list(self.events),
             "explain": self.explain,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.critical_path is not None:
+            out["critical_path"] = list(self.critical_path)
+        return out
 
 
 class SlowQueryLog:

@@ -65,13 +65,15 @@ class WindowedHistogram:
         self.span_s = self.window_s / buckets
         self._now = _now_fn(clock)
         self._lock = threading.Lock()
-        #: slot -> [epoch, Histogram]; a cell is live iff its epoch is
-        #: within the trailing window of the current epoch.
-        self._ring: list[list] = [[-1, None] for _ in range(buckets)]
+        #: slot -> [epoch, Histogram, exemplar]; a cell is live iff its
+        #: epoch is within the trailing window of the current epoch. The
+        #: exemplar is ``(value, trace_id)`` of the worst observation in
+        #: the cell — how a p99 read points at a real trace.
+        self._ring: list[list] = [[-1, None, None] for _ in range(buckets)]
         self.observed = 0
 
     # ------------------------------------------------------------------ #
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, *, trace_id: str | None = None) -> None:
         epoch = int(self._now() // self.span_s)
         slot = epoch % self.buckets
         with self._lock:
@@ -79,7 +81,10 @@ class WindowedHistogram:
             if cell[0] != epoch:
                 cell[0] = epoch
                 cell[1] = Histogram(f"{self.name}[{epoch}]")
+                cell[2] = None
             self.observed += 1
+            if trace_id and (cell[2] is None or value > cell[2][0]):
+                cell[2] = (value, trace_id)
         # The cell histogram has its own lock; observing outside ours
         # keeps the windowed lock hold time to the rotation check.
         cell[1].observe(value)
@@ -98,10 +103,29 @@ class WindowedHistogram:
                 out.merge(hist)
         return out
 
+    def exemplar(self, horizon_s: float | None = None) -> dict[str, Any] | None:
+        """The worst traced observation in the window: p99's "go look here"."""
+        horizon = self.window_s if horizon_s is None else min(horizon_s, self.window_s)
+        now_epoch = int(self._now() // self.span_s)
+        oldest = now_epoch - int(horizon / self.span_s)
+        worst: tuple[float, str] | None = None
+        with self._lock:
+            for epoch, _hist, cell_exemplar in self._ring:
+                if cell_exemplar is None or not oldest < epoch <= now_epoch:
+                    continue
+                if worst is None or cell_exemplar[0] > worst[0]:
+                    worst = cell_exemplar
+        if worst is None:
+            return None
+        return {"value": worst[0], "trace_id": worst[1]}
+
     def snapshot(self, horizon_s: float | None = None) -> dict[str, Any]:
         snap = self.merged(horizon_s).snapshot()
         snap["window_s"] = self.window_s
         snap["observed_total"] = self.observed
+        exemplar = self.exemplar(horizon_s)
+        if exemplar is not None:
+            snap["exemplar"] = exemplar
         return snap
 
 
@@ -327,6 +351,11 @@ class TelemetryOptions:
     slow_threshold_s: float = 0.0
     #: Capture an EXPLAIN of the worst zone for admitted slow queries.
     capture_explain: bool = True
+    #: Tail-based trace retention policy; None uses the default
+    #: :class:`~repro.obs.sampling.SamplingPolicy` (the trace buffer
+    #: only fills while tracing itself is enabled, so it is free for
+    #: telemetry-only deployments).
+    sampling: Any = None
 
 
 class Telemetry:
@@ -356,6 +385,15 @@ class Telemetry:
         self.slowlog = SlowQueryLog(
             self.options.slowlog_capacity,
             threshold_s=self.options.slow_threshold_s,
+        )
+        from .sampling import SamplingPolicy, TraceBuffer
+
+        self.traces = TraceBuffer(
+            self.options.sampling
+            if self.options.sampling is not None
+            else SamplingPolicy(
+                slow_threshold_s=self.options.slow_threshold_s or 0.25
+            )
         )
         self._dimensions: dict[str, WindowSet] = {}
         self._lock = threading.Lock()
@@ -387,20 +425,30 @@ class Telemetry:
         dimensions: dict[str, str] | None = None,
         degraded: bool = False,
         failed: bool = False,
+        trace_id: str | None = None,
     ) -> bool:
-        """Record one served request; True if it's a slow-log candidate."""
+        """Record one served request; True if it's a slow-log candidate.
+
+        ``trace_id`` (present only while tracing is enabled) flows into
+        the window's worst-observation exemplar, so ``statz()``'s p99
+        names a real retained trace.
+        """
         with self._lock:
             self.total += 1
             if degraded:
                 self.degraded += 1
             if failed:
                 self.failed += 1
-        self.requests.observe(wall_s)
+        self.requests.observe(wall_s, trace_id=trace_id)
         if dimensions:
             for dimension, key in dimensions.items():
                 self.window(dimension).observe(key, wall_s)
         self.slo.record(wall_s)
         return self.slowlog.would_admit(wall_s)
+
+    def offer_trace(self, root, *, force: str | None = None) -> str | None:
+        """Offer a completed request trace to the tail-sampling buffer."""
+        return self.traces.offer(root, force=force)
 
     # ------------------------------------------------------------------ #
     def statz(self) -> dict[str, Any]:
@@ -417,4 +465,5 @@ class Telemetry:
             "dimensions": {name: dims[name].snapshot() for name in sorted(dims)},
             "slo": self.slo.snapshot(),
             "slowlog": self.slowlog.snapshot(),
+            "traces": self.traces.snapshot(),
         }

@@ -13,6 +13,7 @@ import threading
 import time
 from typing import Callable
 
+from .. import obs
 from ..errors import ServerError
 from ..obs.metrics import Histogram
 from ..obs.window import SLOMonitor, SLOObjective, WindowedHistogram
@@ -110,13 +111,28 @@ class TdeCluster:
             node.in_flight += 1
             return node
 
-    def query(self, tql: str) -> tuple[int, Table]:
-        """Dispatch one query; returns (node_id, result)."""
+    def query(
+        self, tql: str, *, trace_parent: dict | None = None
+    ) -> tuple[int, Table]:
+        """Dispatch one query; returns (node_id, result).
+
+        ``trace_parent`` (wire format, from
+        :meth:`repro.obs.TraceContext.to_wire`) joins the dispatched
+        node's span tree to the caller's trace — the load-balancer hop
+        stitches instead of starting a fresh trace.
+        """
         node = self._pick()
         started = self._now() if self.telemetry else 0.0
         failed = False
+        remote_ctx = obs.TraceContext.from_wire(trace_parent) if trace_parent else None
+        trace_id = None
         try:
-            result = node.engine.query(tql)
+            with obs.activate(remote_ctx):
+                with obs.span(
+                    "cluster.query", node=node.node_id, balancer=self.balancer
+                ) as sp:
+                    trace_id = getattr(sp, "trace_id", "") or None
+                    result = node.engine.query(tql)
         except Exception:
             failed = True
             raise
@@ -128,7 +144,7 @@ class TdeCluster:
                     node.failures += 1
             if self.telemetry:
                 elapsed = self._now() - started
-                node.window.observe(elapsed)
+                node.window.observe(elapsed, trace_id=trace_id)
                 self.slo.record(elapsed)
         return node.node_id, result
 

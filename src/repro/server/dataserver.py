@@ -23,6 +23,7 @@ from typing import Any, Mapping
 from .. import obs
 from ..core.pipeline import PipelineOptions, QueryPipeline
 from ..errors import PermissionError_, ServerError, SourceUnavailableError
+from ..obs.critpath import slowlog_path
 from ..obs.slowlog import SlowQueryEntry
 from ..obs.window import Telemetry, TelemetryOptions
 from ..queries.model import DataSourceModel
@@ -207,12 +208,18 @@ class DataServerSession:
         spec: QuerySpec,
         *,
         use_sets: Mapping[str, str] | None = None,
+        trace_parent: Mapping[str, str] | None = None,
     ) -> Table:
         """Answer a spec, applying user filters and resolving set handles.
 
         ``use_sets`` maps field name → set handle: the named set's values
         are injected as a categorical filter during compilation, without
         re-shipping them from the client.
+
+        ``trace_parent`` is an optional wire-format trace context (from
+        :meth:`repro.obs.TraceContext.to_wire` on the calling node): the
+        proxy's span tree then joins the caller's trace, so a VizServer
+        request that crossed into Data Server stitches into one tree.
         """
         self._check_open()
         if spec.datasource != self.published.name:
@@ -222,58 +229,73 @@ class DataServerSession:
         now = self.published.pipeline._ledger_now
         cursor = obs.get_events().cursor() if self.telemetry is not None else 0
         started = now() if self.telemetry is not None else 0.0
+        remote_ctx = obs.TraceContext.from_wire(trace_parent) if trace_parent else None
+        sp = None
+        batch = None
         # The proxy hop: client spec → published pipeline → result.
-        with obs.span(
-            "dataserver.query", datasource=self.published.name, user=self.user
-        ) as sp:
-            self.bytes_from_client += len(spec.canonical()) + sum(
-                len(h) for h in (use_sets or {}).values()
-            )
-            filters = list(spec.filters)
-            for field_name, handle in (use_sets or {}).items():
-                if handle not in self._sets:
-                    raise ServerError(f"unknown set handle {handle!r}")
-                set_field, shared = self._sets[handle]
-                if set_field != field_name:
-                    raise ServerError(
-                        f"set {handle!r} is over {set_field!r}, not {field_name!r}"
+        try:
+            with obs.activate(remote_ctx):
+                with obs.span(
+                    "dataserver.query", datasource=self.published.name, user=self.user
+                ) as sp:
+                    self.bytes_from_client += len(spec.canonical()) + sum(
+                        len(h) for h in (use_sets or {}).values()
                     )
-                values = self.published.temp_state.get(shared).column(set_field).python_values()
-                filters.append(CategoricalFilter(field_name, tuple(values)))
-            user_filter = self.published.user_filters.get(self.user)
-            if user_filter is not None:
-                filters.append(user_filter)
-            effective = spec.with_filters(tuple(filters))
-            batch = self.published.pipeline.run_batch([effective])
-            # For a single-spec session API, an unanswerable query raises
-            # (SourceUnavailableError out of table_for); a stale serve
-            # succeeds but is flagged on the session.
-            try:
-                result = batch.table_for(effective)
-            except SourceUnavailableError:
-                if self.telemetry is not None:
-                    self._observe(
-                        effective, batch, started, now() - started, cursor,
-                        failed=True,
-                    )
-                raise
-            self.last_stale = batch.is_stale(effective)
-            if self.last_stale:
-                self.stale_serves += 1
-                obs.counter("dataserver.stale_serves").inc()
-                sp.set(stale=True)
-            self.queries_answered += 1
-            obs.counter("dataserver.queries").inc()
-            sp.set(rows=result.n_rows)
+                    filters = list(spec.filters)
+                    for field_name, handle in (use_sets or {}).items():
+                        if handle not in self._sets:
+                            raise ServerError(f"unknown set handle {handle!r}")
+                        set_field, shared = self._sets[handle]
+                        if set_field != field_name:
+                            raise ServerError(
+                                f"set {handle!r} is over {set_field!r}, not {field_name!r}"
+                            )
+                        values = self.published.temp_state.get(shared).column(set_field).python_values()
+                        filters.append(CategoricalFilter(field_name, tuple(values)))
+                    user_filter = self.published.user_filters.get(self.user)
+                    if user_filter is not None:
+                        filters.append(user_filter)
+                    effective = spec.with_filters(tuple(filters))
+                    batch = self.published.pipeline.run_batch([effective])
+                    # For a single-spec session API, an unanswerable query
+                    # raises (SourceUnavailableError out of table_for); a
+                    # stale serve succeeds but is flagged on the session.
+                    result = batch.table_for(effective)
+                    self.last_stale = batch.is_stale(effective)
+                    if self.last_stale:
+                        self.stale_serves += 1
+                        obs.counter("dataserver.stale_serves").inc()
+                        sp.set(stale=True)
+                    self.queries_answered += 1
+                    obs.counter("dataserver.queries").inc()
+                    sp.set(rows=result.n_rows)
+        except SourceUnavailableError:
+            # The span is closed here (the raise unwound it), so the
+            # error trace is offered whole to the tail sampler.
+            if self.telemetry is not None and batch is not None:
+                self._observe(
+                    effective, batch, started, now() - started, cursor,
+                    failed=True, sp=sp,
+                )
+            raise
         if self.telemetry is not None:
             self._observe(
-                effective, batch, started, now() - started, cursor, failed=False
+                effective, batch, started, now() - started, cursor,
+                failed=False, sp=sp,
             )
         return result
 
     # ------------------------------------------------------------------ #
     def _observe(
-        self, effective: QuerySpec, batch, started, elapsed, cursor, *, failed: bool
+        self,
+        effective: QuerySpec,
+        batch,
+        started,
+        elapsed,
+        cursor,
+        *,
+        failed: bool,
+        sp=None,
     ) -> None:
         """Feed one proxied query into the server's telemetry plane."""
         key = effective.canonical()
@@ -281,6 +303,12 @@ class DataServerSession:
         if ledger is not None:
             ledger.close_out(started, started + elapsed)
         degraded = batch.is_stale(effective)
+        trace_id = getattr(sp, "trace_id", "") or None
+        if trace_id:
+            # Tail-based sampling: errors and degraded serves are always
+            # kept; the rest compete on latency or the 1-in-N sample.
+            force = "error" if failed else "stale" if degraded else None
+            self.telemetry.offer_trace(sp, force=force)
         slow = self.telemetry.observe(
             elapsed,
             dimensions={
@@ -290,6 +318,7 @@ class DataServerSession:
             },
             degraded=degraded,
             failed=failed,
+            trace_id=trace_id,
         )
         if not slow:
             return
@@ -320,6 +349,8 @@ class DataServerSession:
                 ledgers={key: ledger.to_dict()} if ledger is not None else {},
                 events=[ev.to_dict() for ev in events],
                 explain=explain,
+                trace_id=trace_id,
+                critical_path=slowlog_path(sp, self.telemetry.traces),
             )
         )
 

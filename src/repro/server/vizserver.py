@@ -26,6 +26,7 @@ from ..core.pipeline import PipelineOptions, QueryPipeline
 from ..dashboard.model import Dashboard
 from ..dashboard.render import DashboardSession, RenderResult
 from ..errors import ServerError
+from ..obs.critpath import slowlog_path
 from ..obs.slowlog import SlowQueryEntry
 from ..obs.window import Telemetry, TelemetryOptions
 from ..queries.model import DataSourceModel
@@ -159,17 +160,25 @@ class VizServer:
         return session
 
     # ------------------------------------------------------------------ #
-    def load(self, user: str, dashboard_name: str) -> tuple[str, RenderResult]:
-        return self._serve("load", user, dashboard_name, lambda s: s.render())
-
-    def select(
-        self, user: str, dashboard_name: str, zone: str, values
+    def load(
+        self, user: str, dashboard_name: str, *, trace_parent=None
     ) -> tuple[str, RenderResult]:
         return self._serve(
-            "select", user, dashboard_name, lambda s: s.select(zone, values)
+            "load", user, dashboard_name, lambda s: s.render(),
+            trace_parent=trace_parent,
         )
 
-    def _serve(self, op, user, dashboard_name, action) -> tuple[str, RenderResult]:
+    def select(
+        self, user: str, dashboard_name: str, zone: str, values, *, trace_parent=None
+    ) -> tuple[str, RenderResult]:
+        return self._serve(
+            "select", user, dashboard_name, lambda s: s.select(zone, values),
+            trace_parent=trace_parent,
+        )
+
+    def _serve(
+        self, op, user, dashboard_name, action, *, trace_parent=None
+    ) -> tuple[str, RenderResult]:
         node = self._route()
         session = self._session(user, dashboard_name)
         # The event cursor marks where this request starts in the
@@ -177,23 +186,30 @@ class VizServer:
         # captured entry carries exactly this request's decisions.
         cursor = obs.get_events().cursor() if self.telemetry is not None else 0
         started = self._now()
-        with obs.span(
-            "vizserver.request", op=op, node=node.node_id, dashboard=dashboard_name
-        ) as sp:
-            # Any node may serve any request; the session state is shared,
-            # the pipeline (and its caches) is the serving node's. The
-            # swap happens under the session lock so a concurrent request
-            # for the same session never sees a mid-render pipeline change.
-            with session.lock:
-                session.pipeline = node.pipeline
-                result = action(session)
-            self._note_degradation(sp, result)
+        # ``trace_parent`` is the wire form of the caller's TraceContext
+        # (a front-end tier, a test's synthetic hop). Activating it makes
+        # this request's span a new root adopting the caller's trace_id,
+        # exactly as if the request had crossed a process boundary.
+        remote_ctx = obs.TraceContext.from_wire(trace_parent) if trace_parent else None
+        with obs.activate(remote_ctx):
+            with obs.span(
+                "vizserver.request", op=op, node=node.node_id, dashboard=dashboard_name
+            ) as sp:
+                # Any node may serve any request; the session state is
+                # shared, the pipeline (and its caches) is the serving
+                # node's. The swap happens under the session lock so a
+                # concurrent request for the same session never sees a
+                # mid-render pipeline change.
+                with session.lock:
+                    session.pipeline = node.pipeline
+                    result = action(session)
+                self._note_degradation(sp, result)
         elapsed = self._now() - started
         obs.histogram("vizserver.request_s").observe(elapsed)
         if self.telemetry is not None:
             self._observe_request(
                 op, user, dashboard_name, node, session, result,
-                started, elapsed, cursor,
+                started, elapsed, cursor, sp,
             )
         return node.node_id, result
 
@@ -209,9 +225,20 @@ class VizServer:
     # ------------------------------------------------------------------ #
     def _observe_request(
         self, op, user, dashboard_name, node, session, result,
-        started, elapsed, cursor,
+        started, elapsed, cursor, sp,
     ) -> None:
         """Feed one served request into the telemetry plane."""
+        # ``sp`` is the request's (now closed) root span — a null span
+        # with an empty trace_id while tracing is off, so every trace
+        # surface below is conditional on that emptiness.
+        trace_id = getattr(sp, "trace_id", "") or None
+        if trace_id is not None:
+            force = (
+                "error" if result.zone_errors
+                else "stale" if result.degraded
+                else None
+            )
+            self.telemetry.offer_trace(sp, force=force)
         # Widen each zone's ledger to the server request window: routing
         # and session-lock wait become queue, response assembly render.
         for ledger in result.zone_ledgers.values():
@@ -226,6 +253,7 @@ class VizServer:
             },
             degraded=result.degraded,
             failed=bool(result.zone_errors),
+            trace_id=trace_id,
         )
         if not slow:
             return
@@ -254,6 +282,8 @@ class VizServer:
             },
             events=[ev.to_dict() for ev in events],
             explain=self._explain_worst_zone(node, session, result),
+            trace_id=trace_id,
+            critical_path=slowlog_path(sp, self.telemetry.traces),
         )
         self.telemetry.slowlog.admit(entry)
 

@@ -161,7 +161,10 @@ def execute_to_table(node: PhysNode, ctx: ExecContext | None = None) -> Table:
     """Run a physical plan to completion and concatenate its batches."""
     ctx = ctx or ExecContext()
     if ctx.recorder is None and obs.enabled():
-        ctx.recorder = OpRecorder()
+        # Time operators on the tracer's clock so virtual-time recordings
+        # stay deterministic (real per-op seconds would leak wall time
+        # into otherwise seeded span attributes).
+        ctx.recorder = OpRecorder(clock=getattr(obs.get_tracer(), "clock", None) or time.perf_counter)
         with obs.span("tde.execute", root=type(node).__name__) as sp:
             batches = list(node.execute(ctx))
             operators = ctx.recorder.snapshot()

@@ -1,0 +1,251 @@
+"""Causal links end to end: every documented link kind, at its real site.
+
+Each scenario drives the actual production code path (pipeline, cache,
+prefetcher, retry helper, breaker, pool) under a live recording and
+asserts the causal edge lands where the critical-path analyzer expects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.connectors.pool import ConnectionPool
+from repro.core.coalesce import SingleFlightRegistry
+from repro.core.pipeline import PipelineOptions, QueryPipeline
+from repro.core.prefetch import InteractionPrefetcher
+from repro.dashboard.render import DashboardSession
+from repro.errors import CircuitOpenError, TransientSourceError
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.retry import RetryPolicy, call_with_retry
+from repro.obs import critical_path, link_resolver
+from repro.workloads import fig2_dashboard, flights_model, generate_flights
+from tests.core.conftest import AVG_DELAY, COUNT, SUM_DELAY, make_model, make_source, spec
+from tests.core.test_coalesce import GatedSource
+
+WIDE = spec(
+    dimensions=("name", "market_id"),
+    measures=(("n", COUNT), ("s", SUM_DELAY)),
+)
+NARROW = spec(dimensions=("name",), measures=(("n", COUNT),))
+OTHER = spec(dimensions=("market",), measures=(("a", AVG_DELAY),))
+
+
+def _pipeline(source=None, *, coalescer=None, **overrides):
+    options = dict(
+        enable_intelligent_cache=False,
+        enable_literal_cache=False,
+        enrich_for_reuse=False,
+        coalesce_wait_timeout_s=10.0,
+    )
+    options.update(overrides)
+    return QueryPipeline(
+        source or make_source(),
+        make_model(),
+        options=PipelineOptions(**options),
+        coalescer=coalescer,
+    )
+
+
+def _wait_until(predicate, timeout_s: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.001)
+
+
+def _links(root, kind):
+    return [
+        link
+        for span in root.walk()
+        for link in (span.links or ())
+        if link.kind == kind
+    ]
+
+
+class TestExecutorFanout:
+    def test_worker_spans_join_the_batch_trace(self):
+        pipeline = _pipeline()  # concurrent fan-out is the default
+        with obs.recording():
+            pipeline.run_batch([WIDE, NARROW, OTHER])
+            roots = obs.get_tracer().roots
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "pipeline.run_batch"
+        fanned = root.find_all("executor.query")
+        # Fusion folds NARROW into WIDE, so two remote queries fan out.
+        assert len(fanned) == 2
+        # obs.bind carried the batch span into the workers: every
+        # executor span shares the request identity and nests under the
+        # remote-execution phase instead of rooting its own trace.
+        assert {s.trace_id for s in fanned} == {root.trace_id}
+        assert {s.parent.name for s in fanned} == {"pipeline.remote_execution"}
+
+
+class TestCoalesceLeaderLink:
+    def test_follower_wait_links_to_the_leader_flight(self):
+        source = GatedSource(make_source())
+        registry = SingleFlightRegistry("warehouse")
+        leader_pipe = _pipeline(source, coalescer=registry)
+        follower_pipe = _pipeline(source, coalescer=registry)
+
+        with obs.recording():
+            leader_thread = threading.Thread(
+                target=lambda: leader_pipe.run_batch([NARROW])
+            )
+            leader_thread.start()
+            assert source.started.wait(10.0)
+            follower_thread = threading.Thread(
+                target=lambda: follower_pipe.run_batch([NARROW])
+            )
+            follower_thread.start()
+            _wait_until(lambda: registry.stats.exact_joins == 1)
+            source.gate.set()
+            leader_thread.join(10.0)
+            follower_thread.join(10.0)
+            roots = obs.get_tracer().roots
+
+        follower_root = next(
+            r for r in roots if r.find("pipeline.coalesce_wait") is not None
+        )
+        leader_root = next(r for r in roots if r is not follower_root)
+        links = _links(follower_root, "coalesce.leader")
+        assert len(links) == 1
+        assert links[0].trace_id == leader_root.trace_id
+        assert links[0].trace_id != follower_root.trace_id
+        # The analyzer follows the edge: part of the follower's critical
+        # path is charged inside the leader's trace.
+        segments = critical_path(
+            follower_root, resolve_link=link_resolver(list(roots))
+        )
+        assert any(seg.via == "coalesce.leader" for seg in segments)
+        assert any(seg.trace_id == leader_root.trace_id for seg in segments)
+
+
+class TestCacheLink:
+    def test_hit_links_to_the_populating_trace(self):
+        pipeline = _pipeline(
+            enable_intelligent_cache=True, concurrent=False
+        )
+        with obs.recording():
+            pipeline.run_batch([WIDE])  # populates
+            pipeline.run_batch([NARROW])  # subsumption hit
+            pipeline.run_batch([WIDE])  # exact hit
+            populating, subsumed, exact = obs.get_tracer().roots
+        for hit in (subsumed, exact):
+            links = _links(hit, "cache.populated_by")
+            assert len(links) >= 1
+            assert {link.trace_id for link in links} == {populating.trace_id}
+
+    def test_hit_inside_the_populating_trace_is_not_linked(self):
+        pipeline = _pipeline(
+            enable_intelligent_cache=True, concurrent=False
+        )
+        with obs.recording():
+            # Same batch: NARROW derives from WIDE's just-cached result,
+            # but within one trace there is no cross-request causality.
+            pipeline.run_batch([WIDE, NARROW])
+            root = obs.get_tracer().roots[-1]
+        assert _links(root, "cache.populated_by") == []
+
+
+class TestPrefetchLink:
+    def test_background_warm_links_to_its_trigger(self):
+        from repro.connectors import SimDbDataSource
+        from repro.connectors.simdb import ServerProfile
+
+        dataset = generate_flights(2000, seed=31)
+        db = dataset.load_into_simdb(ServerProfile(time_scale=0))
+        session = DashboardSession(
+            fig2_dashboard(), QueryPipeline(SimDbDataSource(db), flights_model())
+        )
+        session.render()
+        prefetcher = InteractionPrefetcher(background=True, max_candidates=2)
+        session.select("market", ["LAX-SFO"])
+        with obs.recording():
+            with obs.span("vizserver.request") as trigger:
+                prefetcher.observe(session, "market", ("LAX-SFO",))
+            prefetcher.wait(timeout=10)
+            roots = obs.get_tracer().roots
+        warm = next(r for r in roots if r.name == "prefetch.warm")
+        assert warm.trace_id != trigger.trace_id  # its own root...
+        links = _links(warm, "prefetch.triggered_by")
+        assert [link.trace_id for link in links] == [trigger.trace_id]
+
+
+class TestRetryChain:
+    def test_attempts_link_to_their_predecessors(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientSourceError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+        with obs.recording():
+            with obs.span("vizserver.request") as request:
+                assert call_with_retry(flaky, policy=policy, key="k") == "ok"
+            root = obs.get_tracer().roots[0]
+        attempts = root.find_all("retry.attempt")
+        assert [a.attributes["attempt"] for a in attempts] == [2, 3]
+        # The chain: attempt 2 -> the context attempt 1 failed in,
+        # attempt 3 -> attempt 2.
+        assert attempts[0].links[0].kind == "retry.prior_attempt"
+        assert attempts[0].links[0].span_id == request.span_id
+        assert attempts[1].links[0].span_id == attempts[0].span_id
+
+
+class TestBreakerLink:
+    def test_rejection_links_to_the_tripping_trace(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=60.0, name="db")
+        with obs.recording():
+            with obs.span("vizserver.request") as tripper:
+                breaker.record_failure()  # trips: captures this trace
+            with obs.span("vizserver.request") as rejected:
+                with pytest.raises(CircuitOpenError):
+                    breaker.admit()
+        assert rejected.links is not None
+        link = rejected.links[0]
+        assert link.kind == "breaker.opened_by"
+        assert link.trace_id == tripper.trace_id
+        assert link.trace_id != rejected.trace_id
+
+
+class TestPoolWaitLink:
+    def test_waiter_links_behind_the_previous_holder(self):
+        pool = ConnectionPool(make_source(), max_connections=1)
+        with obs.recording():
+            with obs.span("vizserver.request") as holder_span:
+                conn = pool.acquire()
+
+                waiter_root = {}
+
+                def waiter():
+                    with obs.span("dataserver.query") as sp:
+                        waiter_root["span"] = sp
+                        inner = pool.acquire()
+                        pool.release(inner)
+
+                thread = threading.Thread(target=waiter)
+                thread.start()
+                _wait_until(lambda: pool.stats.wait_events >= 1)
+                pool.release(conn)
+                thread.join(10.0)
+        links = waiter_root["span"].links or []
+        assert [link.kind for link in links] == ["pool.waited_behind"]
+        assert links[0].trace_id == holder_span.trace_id
+
+    def test_unblocked_checkout_records_no_link(self):
+        pool = ConnectionPool(make_source(), max_connections=1)
+        with obs.recording():
+            with obs.span("vizserver.request") as sp:
+                conn = pool.acquire()
+                pool.release(conn)
+                again = pool.acquire()
+                pool.release(again)
+        assert sp.links is None

@@ -1,0 +1,243 @@
+"""Critical-path analyzer: hand-built DAGs, link descent, conservation."""
+
+import itertools
+
+from repro.obs import Span, TraceContext, aggregate_report, critical_path, link_resolver
+from repro.obs.critpath import slowlog_path
+from repro.obs.sampling import SamplingPolicy, TraceBuffer
+
+_IDS = itertools.count(1)
+
+
+def _span(name, start, end, *, trace="0000000000000001", parent=None):
+    span = Span(name, float(start))
+    span.end_s = None if end is None else float(end)
+    span.trace_id = trace
+    span.span_id = f"{next(_IDS):012x}"
+    if parent is not None:
+        span.parent = parent
+        span.parent_span_id = parent.span_id
+        parent.children.append(span)
+    return span
+
+
+def _total(segments):
+    return sum(seg.duration_s for seg in segments)
+
+
+def _shape(segments):
+    return [(seg.name, seg.start_s, seg.end_s, seg.via) for seg in segments]
+
+
+class TestSingleTrace:
+    def test_sequential_children_partition_exactly(self):
+        root = _span("vizserver.request", 0, 10)
+        _span("pipeline.compile", 1, 4, parent=root)
+        _span("executor.query", 5, 9, parent=root)
+        segments = critical_path(root)
+        assert _shape(segments) == [
+            ("vizserver.request", 0, 1, ""),
+            ("pipeline.compile", 1, 4, ""),
+            ("vizserver.request", 4, 5, ""),
+            ("executor.query", 5, 9, ""),
+            ("vizserver.request", 9, 10, ""),
+        ]
+        assert _total(segments) == root.duration_s
+
+    def test_concurrent_sibling_is_not_determinative(self):
+        # a finishes at 7 while b runs until 10: shortening a would not
+        # have shortened the response, so a contributes nothing.
+        root = _span("pipeline.remote_execution", 0, 10)
+        _span("executor.query", 0, 7, parent=root)
+        b = _span("executor.query", 3, 10, parent=root)
+        segments = critical_path(root)
+        assert _shape(segments) == [
+            ("pipeline.remote_execution", 0, 3, ""),
+            ("executor.query", 3, 10, ""),
+        ]
+        assert segments[1].trace_id == b.trace_id
+        assert _total(segments) == root.duration_s
+
+    def test_nested_descent_charges_leaf_self_time(self):
+        root = _span("vizserver.request", 0, 10)
+        batch = _span("pipeline.run_batch", 1, 9, parent=root)
+        _span("executor.remote_fetch", 2, 8, parent=batch)
+        segments = critical_path(root)
+        assert _shape(segments) == [
+            ("vizserver.request", 0, 1, ""),
+            ("pipeline.run_batch", 1, 2, ""),
+            ("executor.remote_fetch", 2, 8, ""),
+            ("pipeline.run_batch", 8, 9, ""),
+            ("vizserver.request", 9, 10, ""),
+        ]
+        assert [seg.component for seg in segments] == [
+            "server",
+            "pipeline",
+            "backend",
+            "pipeline",
+            "server",
+        ]
+
+    def test_open_or_zero_width_roots(self):
+        open_root = _span("vizserver.request", 0, None)
+        assert critical_path(open_root) == []
+        instant = _span("vizserver.request", 5, 5)
+        assert critical_path(instant) == []
+
+    def test_open_children_are_ignored(self):
+        root = _span("vizserver.request", 0, 10)
+        _span("executor.query", 1, None, parent=root)  # never closed
+        segments = critical_path(root)
+        assert _shape(segments) == [("vizserver.request", 0, 10, "")]
+
+
+class TestLinkDescent:
+    def _follower_and_leader(self, leader_window=(2, 8)):
+        leader = _span(
+            "executor.remote_fetch",
+            leader_window[0],
+            leader_window[1],
+            trace="000000000000000a",
+        )
+        follower = _span("vizserver.request", 0, 10, trace="000000000000000b")
+        wait = _span(
+            "pipeline.coalesce_wait", 2, 8, trace="000000000000000b", parent=follower
+        )
+        wait.add_link("coalesce.leader", TraceContext(leader.trace_id, leader.span_id))
+        return follower, leader
+
+    def test_path_descends_into_the_linked_trace(self):
+        follower, leader = self._follower_and_leader()
+        segments = critical_path(follower, resolve_link=link_resolver([follower, leader]))
+        assert _shape(segments) == [
+            ("vizserver.request", 0, 2, ""),
+            ("executor.remote_fetch", 2, 8, "coalesce.leader"),
+            ("vizserver.request", 8, 10, ""),
+        ]
+        assert segments[1].trace_id == leader.trace_id
+        assert segments[1].component == "backend"
+        assert _total(segments) == follower.duration_s
+
+    def test_partial_overlap_charges_the_remainder_to_the_waiter(self):
+        # Leader only covers [4, 8] of the wait's [2, 8]: the leading
+        # 2s stay charged to the waiting span itself.
+        follower, leader = self._follower_and_leader(leader_window=(4, 8))
+        segments = critical_path(follower, resolve_link=link_resolver([follower, leader]))
+        assert _shape(segments) == [
+            ("vizserver.request", 0, 2, ""),
+            ("pipeline.coalesce_wait", 2, 4, ""),
+            ("executor.remote_fetch", 4, 8, "coalesce.leader"),
+            ("vizserver.request", 8, 10, ""),
+        ]
+        assert _total(segments) == follower.duration_s
+
+    def test_no_absolute_overlap_falls_back_to_a_plain_segment(self):
+        follower, leader = self._follower_and_leader(leader_window=(20, 30))
+        segments = critical_path(follower, resolve_link=link_resolver([follower, leader]))
+        assert _shape(segments) == [
+            ("vizserver.request", 0, 2, ""),
+            ("pipeline.coalesce_wait", 2, 8, ""),
+            ("vizserver.request", 8, 10, ""),
+        ]
+
+    def test_unresolvable_link_is_charged_locally(self):
+        follower, _ = self._follower_and_leader()
+        segments = critical_path(follower, resolve_link=link_resolver([follower]))
+        assert _shape(segments)[1] == ("pipeline.coalesce_wait", 2, 8, "")
+
+    def test_max_link_depth_zero_disables_following(self):
+        follower, leader = self._follower_and_leader()
+        segments = critical_path(
+            follower, resolve_link=link_resolver([follower, leader]), max_link_depth=0
+        )
+        assert _shape(segments)[1] == ("pipeline.coalesce_wait", 2, 8, "")
+
+    def test_conservation_holds_through_links(self):
+        follower, leader = self._follower_and_leader()
+        _span("simdb.select", 3, 7, trace=leader.trace_id, parent=leader)
+        segments = critical_path(follower, resolve_link=link_resolver([follower, leader]))
+        assert abs(_total(segments) - follower.duration_s) < 1e-9
+        assert _total(segments) <= follower.duration_s + 1e-9
+
+
+class TestAggregateReport:
+    def _traces(self):
+        roots = []
+        for n, backend_s in enumerate((8.0, 8.0, 1.0), start=1):
+            root = _span("vizserver.request", 0, 10, trace=f"{n:016x}")
+            _span(
+                "executor.remote_fetch", 1, 1 + backend_s, trace=root.trace_id, parent=root
+            )
+            roots.append(root)
+        return roots
+
+    def test_dominant_component_and_share_sum(self):
+        report = aggregate_report(self._traces(), percentile=0.0)
+        assert report["traces"] == 3
+        assert report["analyzed"] == 3
+        assert report["dominant"] == "backend"
+        assert abs(sum(row["share"] for row in report["components"]) - 1.0) < 1e-9
+        by_name = {row["component"]: row["self_s"] for row in report["components"]}
+        assert by_name["backend"] == 17.0
+        assert by_name["server"] == 13.0
+        assert abs(sum(by_name.values()) - 30.0) < 1e-9  # = total wall analyzed
+
+    def test_percentile_narrows_the_analyzed_set(self):
+        roots = self._traces()
+        roots[0].end_s = 20.0  # one distinctly slow trace
+        report = aggregate_report(roots, percentile=0.95)
+        assert report["analyzed"] == 1
+        assert report["threshold_s"] == 20.0
+
+    def test_path_signature_is_first_touch_component_order(self):
+        report = aggregate_report(self._traces(), percentile=0.0)
+        assert report["top_paths"][0]["path"] == "server > backend"
+        assert report["top_paths"][0]["count"] == 3
+
+    def test_empty_input(self):
+        report = aggregate_report([])
+        assert report == {
+            "traces": 0,
+            "analyzed": 0,
+            "threshold_s": 0.0,
+            "components": [],
+            "dominant": None,
+            "top_paths": [],
+        }
+
+
+class TestSlowlogPath:
+    def test_none_for_untraced_or_open_roots(self):
+        assert slowlog_path(None) is None
+        untraced = Span("vizserver.request", 0.0)
+        untraced.end_s = 1.0
+        assert slowlog_path(untraced) is None
+        open_root = _span("vizserver.request", 0, None)
+        assert slowlog_path(open_root) is None
+
+    def test_rows_conserve_the_wall_time(self):
+        root = _span("vizserver.request", 0, 10)
+        _span("executor.query", 2, 9, parent=root)
+        rows = slowlog_path(root)
+        assert [row["name"] for row in rows] == [
+            "vizserver.request",
+            "executor.query",
+            "vizserver.request",
+        ]
+        assert abs(sum(row["self_s"] for row in rows) - root.duration_s) < 1e-9
+
+    def test_buffer_supplies_link_targets(self):
+        leader = _span("executor.remote_fetch", 2, 8, trace="00000000000000aa")
+        follower = _span("vizserver.request", 0, 10, trace="00000000000000bb")
+        wait = _span(
+            "pipeline.coalesce_wait", 2, 8, trace=follower.trace_id, parent=follower
+        )
+        wait.add_link("coalesce.leader", TraceContext(leader.trace_id, leader.span_id))
+        buf = TraceBuffer(SamplingPolicy(slow_threshold_s=1.0))
+        buf.offer(leader)
+        rows = slowlog_path(follower, buf)
+        assert [(row["name"], row.get("via", "")) for row in rows] == [
+            ("vizserver.request", ""),
+            ("executor.remote_fetch", "coalesce.leader"),
+            ("vizserver.request", ""),
+        ]

@@ -1,0 +1,79 @@
+"""Lint: every span name and link kind used in src/ is registered.
+
+Attribution is keyed by span name (:func:`repro.obs.names.component_of`);
+an unregistered name would silently land in the catch-all component and
+rot aggregate reports. This test greps the source tree so the registry
+and the call sites cannot drift apart.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs import LINK_KINDS, SPAN_REGISTRY, component_of
+from repro.obs.names import UNKNOWN_COMPONENT
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+# \s* spans newlines, so multi-line call sites like
+#   with obs.span(
+#       "dataserver.query", ...
+# are matched too.
+SPAN_SITE = re.compile(r'obs\.span\(\s*"([^"]+)"')
+LINK_SITE = re.compile(r'add_link\(\s*"([^"]+)"')
+
+
+def _sites(pattern):
+    found = {}
+    for path in sorted(SRC.rglob("*.py")):
+        for name in pattern.findall(path.read_text()):
+            found.setdefault(name, []).append(str(path.relative_to(SRC)))
+    return found
+
+
+class TestSpanRegistry:
+    def test_every_span_site_is_registered(self):
+        unregistered = {
+            name: paths
+            for name, paths in _sites(SPAN_SITE).items()
+            if name not in SPAN_REGISTRY
+        }
+        assert unregistered == {}, (
+            f"span names missing from SPAN_REGISTRY: {unregistered}"
+        )
+
+    def test_every_registered_span_has_a_call_site(self):
+        used = set(_sites(SPAN_SITE))
+        stale = set(SPAN_REGISTRY) - used
+        assert stale == set(), f"registry entries with no src/ call site: {stale}"
+
+    def test_registry_entries_are_well_formed(self):
+        for name, (component, description) in SPAN_REGISTRY.items():
+            assert re.fullmatch(r"[a-z_]+\.[a-z_]+", name), name
+            assert component and component != UNKNOWN_COMPONENT
+            assert description
+            assert component_of(name) == component
+
+    def test_unknown_names_fall_into_the_catch_all(self):
+        assert component_of("nonexistent.span") == UNKNOWN_COMPONENT
+
+
+class TestLinkKinds:
+    def test_every_link_site_uses_a_documented_kind(self):
+        undocumented = {
+            kind: paths
+            for kind, paths in _sites(LINK_SITE).items()
+            if kind not in LINK_KINDS
+        }
+        assert undocumented == {}, (
+            f"link kinds missing from LINK_KINDS: {undocumented}"
+        )
+
+    def test_every_documented_kind_has_a_call_site(self):
+        used = set(_sites(LINK_SITE))
+        stale = set(LINK_KINDS) - used
+        assert stale == set(), f"documented link kinds with no src/ site: {stale}"
+
+    def test_kinds_carry_descriptions(self):
+        for kind, description in LINK_KINDS.items():
+            assert re.fullmatch(r"[a-z_]+\.[a-z_]+", kind), kind
+            assert description

@@ -1,0 +1,133 @@
+"""Cross-node trace stitching: wire contexts join server hops into one tree."""
+
+from repro import obs
+from repro.connectors import SimDbDataSource
+from repro.connectors.simdb import ServerProfile
+from repro.core.cache.distributed import KeyValueStore
+from repro.core.pipeline import PipelineOptions
+from repro.expr.ast import AggExpr
+from repro.queries import QuerySpec
+from repro.server import DataServer, TdeCluster, VizServer
+from repro.workloads import fig2_dashboard, flights_model, generate_flights
+
+DATASET = generate_flights(2000, seed=23)
+DASHBOARD = "market-carrier-airline"
+QUERY = '(aggregate (carrier_id) ((n (count))) (scan "Extract.flights"))'
+COUNT = AggExpr("count")
+
+
+def _vizserver(n_nodes=1):
+    db = DATASET.load_into_simdb(ServerProfile(time_scale=0))
+    server = VizServer(
+        n_nodes,
+        SimDbDataSource(db),
+        flights_model(),
+        store=KeyValueStore(latency_s=0.0),
+        # Serial execution: span-tree *shapes* are compared across runs,
+        # and concurrent fan-out varies connection reuse / mid-batch
+        # cache hits with thread interleaving.
+        options=PipelineOptions(concurrent=False),
+    )
+    server.register_dashboard(fig2_dashboard())
+    return server
+
+
+def _shape(span):
+    """The logical shape of a span tree: nested name tuples.
+
+    Children are sorted because concurrent executor fan-out appends them
+    in completion order — the shape is logical, not chronological.
+    """
+    return (span.name, tuple(sorted(_shape(c) for c in span.children)))
+
+
+class TestVizServerHop:
+    def test_wire_context_stitches_into_the_frontend_trace(self):
+        server = _vizserver()
+        with obs.recording():
+            with obs.span("frontend") as frontend:
+                wire = frontend.context.to_wire()
+            server.load("alice", DASHBOARD, trace_parent=wire)
+            roots = obs.get_tracer().roots
+        assert len(roots) == 2  # frontend + the server's (pre-stitch) root
+        stitched = obs.stitch(roots)
+        assert len(stitched) == 1
+        tree = stitched[0]
+        assert tree.name == "frontend"
+        request = tree.find("vizserver.request")
+        assert request is not None
+        assert request.parent_span_id == frontend.span_id
+        # One request, one identity: every span shares the frontend's trace.
+        assert {s.trace_id for s in tree.walk()} == {frontend.trace_id}
+
+    def test_hopped_request_shape_matches_a_local_one(self):
+        # The hop changes identity wiring, never the logical work: a load
+        # served under a wire context has the same span shape as a plain
+        # in-process load on an identically fresh server.
+        with obs.recording():
+            _vizserver().load("alice", DASHBOARD)
+            local = obs.get_tracer().roots[-1]
+            local_shape = _shape(local)
+        with obs.recording():
+            with obs.span("frontend") as frontend:
+                wire = frontend.context.to_wire()
+            _vizserver().load("alice", DASHBOARD, trace_parent=wire)
+            hopped = obs.stitch(obs.get_tracer().roots)[0].find("vizserver.request")
+            hopped_shape = _shape(hopped)
+        assert local.name == "vizserver.request"
+        assert hopped_shape == local_shape
+
+    def test_no_trace_parent_roots_a_fresh_trace(self):
+        server = _vizserver()
+        with obs.recording():
+            with obs.span("frontend") as frontend:
+                pass
+            server.load("alice", DASHBOARD)
+            roots = obs.get_tracer().roots
+        assert obs.stitch(roots) == roots  # nothing to stitch
+        assert roots[1].trace_id != frontend.trace_id
+
+
+class TestDataServerHop:
+    def test_session_query_joins_the_caller_trace(self):
+        db = DATASET.load_into_simdb(ServerProfile(time_scale=0))
+        server = DataServer()
+        server.publish("faa", flights_model(), SimDbDataSource(db))
+        session = server.connect("faa", "alice")
+        spec = QuerySpec(
+            "faa", dimensions=("carrier_name",), measures=(("n", COUNT),)
+        )
+        with obs.recording():
+            with obs.span("vizserver.request") as caller:
+                wire = obs.current_trace_context().to_wire()
+            session.query(spec, trace_parent=wire)
+            stitched = obs.stitch(obs.get_tracer().roots)
+        assert len(stitched) == 1
+        hop = stitched[0].find("dataserver.query")
+        assert hop is not None
+        assert hop.trace_id == caller.trace_id
+        assert hop.parent_span_id == caller.span_id
+        assert hop.find("pipeline.run_batch") is not None
+
+
+class TestClusterHop:
+    def test_cluster_query_joins_the_caller_trace(self):
+        cluster = TdeCluster(2, DATASET.load_into_engine)
+        with obs.recording():
+            with obs.span("frontend") as frontend:
+                wire = obs.current_trace_context().to_wire()
+            node_id, result = cluster.query(QUERY, trace_parent=wire)
+            stitched = obs.stitch(obs.get_tracer().roots)
+        assert result.n_rows > 0
+        assert len(stitched) == 1
+        hop = stitched[0].find("cluster.query")
+        assert hop is not None
+        assert hop.trace_id == frontend.trace_id
+        assert hop.attributes["node"] == node_id
+        assert hop.find("tde.execute") is not None
+
+    def test_untraced_cluster_query_still_works(self):
+        cluster = TdeCluster(1, DATASET.load_into_engine)
+        node_id, result = cluster.query(QUERY)
+        assert node_id == 0
+        assert result.n_rows > 0
