@@ -67,6 +67,11 @@ TOLERANCE_PROFILES: dict[str, dict[str, float]] = {
         # the hard bounds (off <= 1.1x, on <= 1.5x) are asserted inside
         # the benchmark itself and fail the run regardless of tolerance.
         "e22_trace_attribution": 0.25,
+        # The warm-plan rows time a sub-millisecond cache lookup where
+        # interpreter noise is proportionally large; the benchmark's own
+        # hard assertions (>=2x fused, every repeat a hit, warm < cold)
+        # are the real guard, the gate just catches gross drift.
+        "e23_kernel_fusion": 1.5,
     },
     "ci": {
         "*": 3.0,
@@ -74,6 +79,7 @@ TOLERANCE_PROFILES: dict[str, dict[str, float]] = {
         "e6b_interaction_trace": 5.0,
         "e21_telemetry": 5.0,
         "e22_trace_attribution": 5.0,
+        "e23_kernel_fusion": 5.0,
     },
 }
 

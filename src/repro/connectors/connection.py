@@ -126,8 +126,9 @@ class _TdeDriver:
         self._temps: set[str] = set()
 
     def execute(self, text: str) -> Table:
-        plan = self.engine.parse(self._rewrite_temp_names(text))
-        return self.engine.query(plan)
+        # Pass the query *text* through so the engine's plan cache can
+        # key on it — repeat dashboard queries skip recompilation.
+        return self.engine.query(self._rewrite_temp_names(text))
 
     def _rewrite_temp_names(self, text: str) -> str:
         for name in self._temps:

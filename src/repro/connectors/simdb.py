@@ -119,6 +119,7 @@ class SimulatedDatabase:
         profile: ServerProfile | None = None,
         *,
         fault_plan=None,
+        engine_options: PlannerOptions | None = None,
     ):
         self.name = name
         self.profile = profile or ServerProfile()
@@ -129,7 +130,9 @@ class SimulatedDatabase:
         # The inner engine runs serially; the *profile* decides how much
         # virtual parallelism the backend claims to have.
         self.engine = DataEngine(
-            name, options=PlannerOptions(max_dop=1, enable_parallel=False)
+            name,
+            options=engine_options
+            or PlannerOptions(max_dop=1, enable_parallel=False),
         )
         self.stats = ServerStats()
         self._session_counter = 0

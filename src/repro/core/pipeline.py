@@ -766,9 +766,17 @@ class QueryPipeline:
         The stale store deliberately survives: "the last result before
         the refresh" is exactly what a degraded serve wants if the source
         dies right after invalidation.
+
+        When the source exposes an in-process DataEngine, its compiled
+        physical plans are dropped too — a refreshed extract may have new
+        tables/encodings, so cached plans would execute against stale
+        storage objects.
         """
         self.intelligent_cache.invalidate(self.model.name)
         self.literal_cache.invalidate(self.source.name)
+        backend = self._backend_engine()
+        if backend is not None:
+            backend.invalidate_plans("refresh")
 
     def close(self) -> None:
         self.pool.close()

@@ -26,6 +26,7 @@ import json
 from typing import Any
 
 from ..tde.exec.exchange import PExchange, PMergeSorted, SharedBuild
+from ..tde.exec.fused import PFusedPipeline
 from ..tde.exec.physical import (
     ExecContext,
     OpRecorder,
@@ -118,6 +119,19 @@ def estimate_physical_rows(node: PhysNode) -> int:
         return min(estimate_physical_rows(node.child), node.n)
     if isinstance(node, PWindow):
         return estimate_physical_rows(node.child)
+    if isinstance(node, PFusedPipeline):
+        if node.table is not None:
+            stop = node.table.n_rows if node.stop is None else node.stop
+            base = max(0, stop - node.start)
+        else:
+            base = estimate_physical_rows(node.source)
+        if node.predicate is not None and base:
+            base = max(1, int(base * estimate_selectivity(node.predicate)))
+        if node.specs is not None:
+            if not node.groupby:
+                return 1
+            return max(1, min(base, int(base**0.75))) if base else 0
+        return base
     if isinstance(node, (PExchange, PMergeSorted)):
         return sum(estimate_physical_rows(child) for child in node.inputs)
     if isinstance(node, SharedBuild):

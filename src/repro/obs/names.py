@@ -61,6 +61,51 @@ def component_of(span_name: str) -> str:
     return UNKNOWN_COMPONENT
 
 
+#: Decision-event kinds (obs.event / Telemetry._emit) — every event kind
+#: emitted in ``src/`` must be registered here with a one-line meaning,
+#: mirroring the span registry above. A lint test greps ``src/`` for
+#: ``event("...")`` literals and asserts each appears below, so slow-query
+#: forensics and dashboards never see an undocumented event kind.
+EVENT_REGISTRY: dict[str, str] = {
+    # -- circuit breaker ----------------------------------------------- #
+    "breaker.open": "failure threshold crossed; breaker now rejects fast",
+    "breaker.half_open": "recovery window elapsed; probing with one trial request",
+    "breaker.closed": "trial succeeded; breaker reset to normal operation",
+    "breaker.rejected": "request rejected fast while the breaker is open",
+    # -- caches --------------------------------------------------------- #
+    "cache.subsumption": "intelligent-cache derivation decision (hit/derive/miss)",
+    "cache.literal": "literal cache hit/miss for an exact query text",
+    "cache.eviction": "cache eviction policy dropped an entry",
+    # -- plan cache ----------------------------------------------------- #
+    "plan_cache.hit": "compiled physical plan reused for a normalized-equal query",
+    "plan_cache.miss": "no cached plan; query pays parse/rewrite/optimize",
+    "plan_cache.evict": "LRU capacity pushed out the least-recent plan",
+    "plan_cache.invalidate": "plans dropped (extract refresh, DDL) or a stale put refused",
+    # -- query rewriting ------------------------------------------------ #
+    "fusion": "batch query-fusion decision (merged or declined)",
+    "fuse.pipeline": "planner collapsed a filter/project/aggregate chain into one fused operator",
+    # -- coalescing ----------------------------------------------------- #
+    "coalesce.lead": "request became the leader executing for a herd",
+    "coalesce.join": "request joined an in-flight leader instead of executing",
+    "coalesce.publish": "leader published its result to waiting followers",
+    "coalesce.leader_failed": "leader failed; followers notified to retry",
+    "coalesce.follower_retry": "follower retrying independently after leader failure",
+    # -- degradation ---------------------------------------------------- #
+    "degrade.stale_serve": "source down; served the last good result flagged stale",
+    "degrade.stale_extract": "shadow extract served while the live source is down",
+    "degrade.error": "source down and no stale fallback; per-spec error",
+    # -- resilience / background ---------------------------------------- #
+    "fault.injected": "fault plan injected an error or latency",
+    "retry.attempt": "transient failure; backing off and retrying",
+    "retry.succeeded": "retry attempt succeeded after earlier failures",
+    "retry.gave_up": "retry budget exhausted; failing the operation",
+    "pool": "connection pool lifecycle decision (grow/evict/recycle)",
+    "prefetch": "background prefetch decision (warmed or skipped)",
+    # -- SLO monitoring ------------------------------------------------- #
+    "slo.breach": "windowed latency crossed the SLO burn threshold",
+    "slo.recovered": "windowed latency returned under the SLO threshold",
+}
+
 #: Causal link kinds (Span.add_link) — documented here so traceview and
 #: the docs can render them; the registry test asserts these too.
 LINK_KINDS: dict[str, str] = {

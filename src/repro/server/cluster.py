@@ -188,9 +188,19 @@ class TdeCluster:
         The fleet view folds every node's live window cells into one
         histogram via ``Histogram.merge`` — the same percentile math a
         single node uses, so node and fleet numbers are comparable.
+        Each node also reports its plan-cache counters (every node
+        compiles independently even under shared storage), summed into a
+        fleet ``plan_cache`` rollup.
         """
         snap = self.health()
         snap["telemetry_enabled"] = self.telemetry
+        plan_fleet = {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
+        for node in self.nodes:
+            stats = node.engine.plan_cache.stats()
+            snap["nodes"][f"node{node.node_id}"]["plan_cache"] = stats
+            for key in plan_fleet:
+                plan_fleet[key] += stats[key]
+        snap["plan_cache"] = plan_fleet
         if not self.telemetry:
             return snap
         fleet = Histogram("fleet.query_s")

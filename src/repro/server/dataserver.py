@@ -132,14 +132,18 @@ class DataServer:
     # ------------------------------------------------------------------ #
     def statz(self) -> dict:
         """Windowed latency, SLO burn state and slow queries for the proxy."""
+        published: dict[str, Any] = {}
+        for name in sorted(self._published):
+            entry: dict[str, Any] = {
+                "refresh_count": self._published[name].refresh_count,
+            }
+            backend = self._published[name].pipeline._backend_engine()
+            if backend is not None:
+                entry["plan_cache"] = backend.plan_cache.stats()
+            published[name] = entry
         snap: dict[str, Any] = {
             "telemetry_enabled": self.telemetry is not None,
-            "published": {
-                name: {
-                    "refresh_count": self._published[name].refresh_count,
-                }
-                for name in sorted(self._published)
-            },
+            "published": published,
         }
         if self.telemetry is not None:
             snap.update(self.telemetry.statz())

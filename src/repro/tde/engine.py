@@ -36,10 +36,12 @@ from .exec.physical import (
     PhysNode,
     execute_to_table,
 )
+from .exec.fused import PFusedPipeline
 from .optimizer.catalog import StorageCatalog
 from .optimizer.parallel import PlannerOptions
 from .optimizer.planner import plan_query
 from .optimizer.rules import rewrite_logical
+from .plancache import PlanCache, normalize_tql, options_fingerprint
 from .storage.filepack import pack_database, unpack_database
 from .storage.schema import Database
 from .storage.table import Table
@@ -61,6 +63,9 @@ class DataEngine:
         self.catalog = StorageCatalog(self.database)
         self.options = options or PlannerOptions()
         self.batch_size = batch_size
+        #: Compiled-plan LRU for the string query path; keyed on
+        #: (normalized TQL, catalog version, options fingerprint).
+        self.plan_cache = PlanCache(self.options.plan_cache_size)
 
     # ------------------------------------------------------------------ #
     # Loading and metadata
@@ -68,6 +73,7 @@ class DataEngine:
     def create_table(self, name: str, table: Table, *, replace: bool = False) -> None:
         """Register a pre-built storage table under ``schema.table``."""
         self.database.add_table(name, table, replace=replace)
+        self.plan_cache.invalidate("catalog_change")
 
     def load_pydict(
         self,
@@ -85,6 +91,7 @@ class DataEngine:
 
     def drop_table(self, name: str) -> None:
         self.database.drop_table(name)
+        self.plan_cache.invalidate("catalog_change")
 
     def table(self, name: str) -> Table:
         return self.database.table(name)
@@ -120,9 +127,31 @@ class DataEngine:
     def plan(
         self, query: str | LogicalPlan, *, options: PlannerOptions | None = None
     ) -> PhysNode:
-        """Compile a TQL query to a physical plan without executing it."""
+        """Compile a TQL query to a physical plan without executing it.
+
+        String queries go through the plan cache: repeat dashboard
+        queries (modulo whitespace, name quoting and literal position)
+        reuse the compiled physical plan and skip rewrite/bind/optimize.
+        """
+        opts = options or self.options
+        if isinstance(query, str) and self.plan_cache.enabled:
+            key = self._plan_key(query, opts)
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                return cached
+            generation = self.plan_cache.generation()
+            physical = plan_query(self.parse(query), self.catalog, opts)
+            self.plan_cache.put(key, physical, generation)
+            return physical
         logical = self.parse(query) if isinstance(query, str) else query
-        return plan_query(logical, self.catalog, options or self.options)
+        return plan_query(logical, self.catalog, opts)
+
+    def _plan_key(self, tql: str, opts: PlannerOptions) -> tuple:
+        return (normalize_tql(tql), self.catalog.version, options_fingerprint(opts))
+
+    def invalidate_plans(self, reason: str = "refresh") -> int:
+        """Drop every cached plan (extract refresh, external DDL)."""
+        return self.plan_cache.invalidate(reason)
 
     def query(
         self,
@@ -151,6 +180,9 @@ class DataEngine:
             enable_local_global_agg=False,
             enable_range_partition_agg=False,
             enable_streaming_agg=False,
+            enable_pipeline_fusion=False,
+            enable_code_space=False,
+            plan_cache_size=0,
         )
         physical = plan_query(logical, self.catalog, naive_options, rewrite=False)
         return execute_to_table(physical, ExecContext(batch_size=self.batch_size, parallel=False))
@@ -213,6 +245,13 @@ def _node_label(node: PhysNode) -> str:
         stop = node.table.n_rows if node.stop is None else node.stop
         pred = " filtered" if node.predicate is not None else ""
         return f"Scan[{node.start}:{stop}]{pred} {node.table.name or ''}".rstrip()
+    if isinstance(node, PFusedPipeline):
+        ops = "+".join(node.fused_ops)
+        if node.table is not None:
+            stop = node.table.n_rows if node.stop is None else node.stop
+            where = f"[{node.start}:{stop}] {node.table.name or ''}".rstrip()
+            return f"FusedPipeline({ops}) {where}".rstrip()
+        return f"FusedPipeline({ops})"
     if isinstance(node, PIndexedRleScan):
         return f"IndexedRleScan({node.column}) {node.table.name or ''}".rstrip()
     if isinstance(node, PFilter):

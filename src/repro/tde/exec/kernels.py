@@ -15,9 +15,31 @@ import numpy as np
 
 from ...datatypes import LogicalType
 from ...errors import ExecutionError
+from ...expr.ast import Call, CaseWhen, Expr, columns_used
+from ...expr.eval import evaluate_predicate
 from ..storage.column import Column
 from ..storage.table import Table
-from ..storage.vectors import PlainVector
+from ..storage.vectors import PlainVector, RleVector
+
+
+# ---------------------------------------------------------------------- #
+# Fill values
+# ---------------------------------------------------------------------- #
+def fill_array(ltype: LogicalType, n: int) -> np.ndarray:
+    """Unobservable fill slots for NULL rows.
+
+    Every operator that pads NULL rows (left-join misses, empty-input
+    aggregates, min/max over all-NULL groups) must produce *this* fill so
+    fused and unfused plans stay byte-identical. STR builds an
+    object-dtype array of ``""`` by hand — ``np.full`` would intern a
+    fixed-width str dtype and diverge from the object columns the rest of
+    the engine carries.
+    """
+    if ltype is LogicalType.STR:
+        arr = np.empty(n, dtype=object)
+        arr[:] = ""
+        return arr
+    return np.full(n, ltype.fill_value(), dtype=ltype.numpy_dtype())
 
 
 # ---------------------------------------------------------------------- #
@@ -170,9 +192,10 @@ def _minmax(vg, vv, k, spec: AggSpec, group_mask, col: Column) -> Column:
                 cur = out[g]
                 if cur is None or v > cur:
                     out[g] = v
+        str_fill = fill_array(spec.result_type, 1)[0]
         for i in range(k):
             if out[i] is None:
-                out[i] = ""
+                out[i] = str_fill
         return Column(spec.result_type, PlainVector(out), null_mask=group_mask, collation=col.collation)
     if vv.dtype == np.bool_:
         vv = vv.astype(np.int64)
@@ -189,6 +212,95 @@ def _minmax(vg, vv, k, spec: AggSpec, group_mask, col: Column) -> Column:
     if spec.result_type is LogicalType.BOOL:
         out = out.astype(np.bool_)
     return Column(spec.result_type, PlainVector(out.astype(spec.result_type.numpy_dtype(), copy=False)), null_mask=group_mask)
+
+
+# ---------------------------------------------------------------------- #
+# Fused filter masks (code-space execution, paper 4.1)
+# ---------------------------------------------------------------------- #
+#: Functions that can turn a NULL input row into a True predicate. Row
+#: masks computed in code space unconditionally AND out NULL rows, so a
+#: conjunct using one of these may disagree with row-space evaluation —
+#: such conjuncts must stay in row space.
+_NULL_ACCEPTING = frozenset({"isnull", "ifnull"})
+
+
+def code_space_safe(expr: Expr) -> bool:
+    """Whether a conjunct may be evaluated per dictionary entry / per run.
+
+    Safe means: for a NULL input row the row-space result can only be
+    False (which is exactly what the code-space path produces by masking
+    NULL rows out). Anything that can observe NULL-ness and still return
+    True — ``isnull``, ``ifnull``, CASE — disqualifies the conjunct.
+    """
+    for node in expr.walk():
+        if isinstance(node, CaseWhen):
+            return False
+        if isinstance(node, Call) and node.func in _NULL_ACCEPTING:
+            return False
+    return True
+
+
+def conjunct_mask_code_space(
+    batch: Table, conj: Expr, cache_key: int, cache: dict | None
+) -> np.ndarray | None:
+    """Code-space row mask for one conjunct, or None when inapplicable.
+
+    Applies when the conjunct references exactly one column and that
+    column is dictionary-encoded in ``batch``: the predicate runs once
+    per dictionary entry (cached per (conjunct, dictionary) identity so
+    repeat batches over the same extract pay nothing) and each row is a
+    single integer gather ``verdict[code]``. RLE-coded columns gather per
+    *run* and expand — the per-run path of paper 4.3's consumers.
+    """
+    cols = columns_used(conj)
+    if len(cols) != 1 or not code_space_safe(conj):
+        return None
+    name = next(iter(cols))
+    if not batch.has_column(name):
+        return None
+    col = batch.column(name)
+    if col.dictionary is None:
+        return None
+    key = (cache_key, id(col.dictionary))
+    verdict = cache.get(key) if cache is not None else None
+    if verdict is None:
+        verdict = col.dictionary.predicate_codes(conj, name, col.ltype, col.collation)
+        if cache is not None:
+            cache[key] = verdict
+    vec = col.physical
+    if isinstance(vec, RleVector):
+        mask = vec.expand_runs(verdict[vec.values])
+    else:
+        mask = verdict[vec.materialize()]
+    if col.null_mask is not None:
+        mask = mask & ~col.null_mask
+    return mask
+
+
+def predicate_mask(
+    batch: Table,
+    conjs: list[Expr],
+    *,
+    cache: dict | None = None,
+    code_space: bool = True,
+) -> np.ndarray:
+    """One-pass combined filter mask for a batch.
+
+    The fused pipeline applies this single mask instead of materializing
+    an intermediate table per Filter operator; conjuncts that qualify run
+    in code space, the rest fall back to row-space evaluation.
+    """
+    mask: np.ndarray | None = None
+    for i, conj in enumerate(conjs):
+        m = None
+        if code_space:
+            m = conjunct_mask_code_space(batch, conj, i, cache)
+        if m is None:
+            m = evaluate_predicate(conj, batch)
+        mask = m if mask is None else mask & m
+    if mask is None:
+        mask = np.ones(batch.n_rows, dtype=np.bool_)
+    return mask
 
 
 # ---------------------------------------------------------------------- #

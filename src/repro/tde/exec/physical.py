@@ -24,7 +24,14 @@ from ...expr.eval import evaluate, evaluate_predicate
 from ..storage.column import Column
 from ..storage.table import Table
 from ..storage.vectors import PlainVector, RleVector
-from .kernels import AggSpec, aggregate_groups, build_index, factorize_table, probe_index
+from .kernels import (
+    AggSpec,
+    aggregate_groups,
+    build_index,
+    factorize_table,
+    fill_array,
+    probe_index,
+)
 
 
 class Metrics:
@@ -423,12 +430,7 @@ class PHashJoin(PhysNode):
                 cols[name] = taken
                 continue
             values = np.concatenate(
-                (
-                    taken.storage_values(),
-                    np.full(len(unmatched), col.ltype.fill_value(), dtype=col.ltype.numpy_dtype())
-                    if col.ltype is not LogicalType.STR
-                    else _object_fill(len(unmatched)),
-                )
+                (taken.storage_values(), fill_array(col.ltype, len(unmatched)))
             )
             mask = np.zeros(n_total, dtype=np.bool_)
             if taken.null_mask is not None:
@@ -436,12 +438,6 @@ class PHashJoin(PhysNode):
             mask[n_matched:] = True
             cols[name] = Column(col.ltype, PlainVector(values), null_mask=mask, collation=col.collation)
         return Table(cols)
-
-
-def _object_fill(n: int) -> np.ndarray:
-    arr = np.empty(n, dtype=object)
-    arr[:] = ""
-    return arr
 
 
 # ---------------------------------------------------------------------- #
@@ -483,9 +479,7 @@ def _empty_input_aggregate(source: Table, specs: list[AggSpec]) -> Table:
         if spec.func in ("count", "count_star", "count_distinct"):
             cols[spec.name] = Column(LogicalType.INT, PlainVector(np.zeros(1, dtype=np.int64)))
         else:
-            fill = np.full(1, spec.result_type.fill_value(), dtype=spec.result_type.numpy_dtype())
-            if spec.result_type is LogicalType.STR:
-                fill = _object_fill(1)
+            fill = fill_array(spec.result_type, 1)
             cols[spec.name] = Column(
                 spec.result_type, PlainVector(fill), null_mask=np.ones(1, dtype=np.bool_)
             )
@@ -510,8 +504,14 @@ class PStreamAggregate(PhysNode):
 
     def _execute(self, ctx: ExecContext) -> Iterator[Table]:
         carry: Table | None = None
+        first: Table | None = None
         emitted = False
         for batch in self.child.execute(ctx):
+            if first is None:
+                # Even an all-empty stream carries the schema the empty
+                # aggregate needs (a fully filtered scan still yields one
+                # empty batch — the every-stream-yields-a-batch contract).
+                first = batch
             if batch.n_rows == 0:
                 continue
             merged = Table.concat([carry, batch]) if carry is not None and carry.n_rows else batch
@@ -527,9 +527,9 @@ class PStreamAggregate(PhysNode):
         if carry is not None and carry.n_rows:
             yield aggregate_table(carry, self.groupby, self.specs)
         elif not emitted:
-            yield aggregate_table(
-                carry if carry is not None else _empty_schema_guess(), self.groupby, self.specs
-            )
+            if carry is None:
+                carry = first if first is not None else _empty_schema_guess()
+            yield aggregate_table(carry, self.groupby, self.specs)
 
     def _last_boundary(self, table: Table) -> int:
         """Index of the first row of the last (still open) group."""

@@ -53,6 +53,14 @@ class StorageCatalog:
         self._db = db
         self._metas: dict[str, TableMeta] = {}
         self._fks: list[ForeignKey] = []
+        self._decl_version = 0
+
+    @property
+    def version(self) -> tuple[int, int]:
+        """(DDL version, declaration version) — plans bound under a
+        different pair may reference dropped tables or miss constraints
+        that would change the plan, so the plan cache keys on this."""
+        return (self._db.version, self._decl_version)
 
     # ------------------------------------------------------------------ #
     # Declarations
@@ -61,6 +69,7 @@ class StorageCatalog:
         table = self._qualify(table)
         meta = self._metas.get(table, TableMeta())
         self._metas[table] = TableMeta(meta.unique_keys + (tuple(columns),))
+        self._decl_version += 1
 
     def declare_foreign_key(
         self,
@@ -82,6 +91,7 @@ class StorageCatalog:
                 onto,
             )
         )
+        self._decl_version += 1
 
     # ------------------------------------------------------------------ #
     # Lookup

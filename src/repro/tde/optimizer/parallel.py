@@ -44,6 +44,16 @@ class PlannerOptions:
     #: closing with Exchange + Sort.
     enable_order_preserving_merge: bool = True
     rle_selectivity_threshold: float = 0.35
+    #: Collapse adjacent Filter/Project/HashAggregate chains into one
+    #: PFusedPipeline per-batch pass (paper 4.1: avoid materializing
+    #: intermediates between operators).
+    enable_pipeline_fusion: bool = True
+    #: Evaluate predicates on dictionary codes (once per dictionary
+    #: entry) and per-RLE-run instead of per row inside fused pipelines.
+    enable_code_space: bool = True
+    #: Physical-plan cache capacity (entries) on the engine's string
+    #: query path; 0 disables caching.
+    plan_cache_size: int = 64
 
     def serial(self) -> "PlannerOptions":
         from dataclasses import replace

@@ -64,7 +64,7 @@ from .parallel import (
     split_local_global,
 )
 from .properties import grouping_satisfied_by_order, range_partition_key, sorted_prefix
-from .rules import rewrite_logical
+from .rules import fuse_pipelines, rewrite_logical
 
 
 def plan_query(
@@ -80,7 +80,10 @@ def plan_query(
         logical = rewrite_logical(logical, catalog)
     bind(logical, catalog)  # validate before committing to a plan
     frags = _build(logical, catalog, options, needed=None, hint=0.0, partition_req=())
-    return close_fragments(frags)
+    plan = close_fragments(frags)
+    if options.enable_pipeline_fusion:
+        plan = fuse_pipelines(plan, options)
+    return plan
 
 
 # ---------------------------------------------------------------------- #

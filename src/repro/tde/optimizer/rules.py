@@ -333,3 +333,129 @@ def rewrite_logical(plan: LogicalPlan, catalog) -> LogicalPlan:
         return plan
     finally:
         _SCHEMA_HINTS.reset(token)
+
+
+# ---------------------------------------------------------------------- #
+# Physical rewrite: pipeline fusion (paper 4.1)
+# ---------------------------------------------------------------------- #
+def fuse_pipelines(root, options):
+    """Collapse adjacent PFilter/PProject/PHashAggregate chains — and the
+    PScan they sit on — into :class:`~repro.tde.exec.fused.PFusedPipeline`
+    operators.
+
+    Runs on the *physical* tree after Exchange insertion, so each parallel
+    fragment fuses independently and fraction boundaries are untouched.
+    A chain is fused only when it folds at least two operators' worth of
+    per-batch work (an aggregate, a projection, a filter, or a scan with a
+    pushed-down predicate); bare scans and lone operators stay as they
+    are, because gather-based fusion would only add copies there.
+
+    The walk rewrites children in place: physical plans are private to one
+    ``plan_query`` call, so no sharing hazard exists (cached plans are
+    fused *before* they enter the plan cache).
+    """
+    from ... import obs
+    from ..exec import physical as ph
+    from ..exec.fused import PFusedPipeline
+    from . import provenance
+
+    fused_chains: list[tuple[str, ...]] = []
+
+    def try_fuse(node):
+        groupby = specs = items = pred = None
+        ops: list[str] = []
+        cur = node
+        if isinstance(cur, ph.PHashAggregate):
+            groupby, specs = list(cur.groupby), list(cur.specs)
+            ops.append("aggregate")
+            cur = cur.child
+        while True:
+            if isinstance(cur, ph.PProject):
+                # Re-express the accumulated state in the lower project's
+                # input space; filter-before-project stays equivalent
+                # because projections only rename/compute, never filter.
+                lower = dict(cur.items)
+                items = (
+                    list(cur.items)
+                    if items is None
+                    else [(n, substitute(e, lower)) for n, e in items]
+                )
+                if pred is not None:
+                    pred = substitute(pred, lower)
+                ops.append("project")
+                cur = cur.child
+                continue
+            if isinstance(cur, ph.PFilter):
+                pred = conjoin(conjuncts(cur.predicate) + conjuncts(pred))
+                ops.append("filter")
+                cur = cur.child
+                continue
+            break
+        if isinstance(cur, ph.PScan):
+            if cur.predicate is not None:
+                pred = conjoin(conjuncts(cur.predicate) + conjuncts(pred))
+                ops.append("scan_filter")
+            if len(ops) < 2:
+                return None
+            ops.append("scan")
+            fused_chains.append(tuple(reversed(ops)))
+            return PFusedPipeline(
+                table=cur.table,
+                columns=cur.columns,
+                start=cur.start,
+                stop=cur.stop,
+                predicate=pred,
+                items=items,
+                groupby=groupby,
+                specs=specs,
+                fused_ops=tuple(reversed(ops)),
+                code_space=options.enable_code_space,
+            )
+        if len(ops) < 2:
+            return None
+        fused_chains.append(tuple(reversed(ops)))
+        return PFusedPipeline(
+            source=cur,
+            predicate=pred,
+            items=items,
+            groupby=groupby,
+            specs=specs,
+            fused_ops=tuple(reversed(ops)),
+            code_space=options.enable_code_space,
+        )
+
+    def visit(node):
+        replacement = try_fuse(node)
+        if replacement is not None:
+            node = replacement
+        for attr in ("child", "probe", "build_source", "source"):
+            child = getattr(node, attr, None)
+            if isinstance(child, ph.PhysNode):
+                setattr(node, attr, visit(child))
+        inputs = getattr(node, "inputs", None)
+        if inputs:
+            node.inputs = [visit(child) for child in inputs]
+        return node
+
+    root = visit(root)
+    if provenance.active():
+        if fused_chains:
+            for chain in fused_chains:
+                provenance.note(
+                    "fuse.pipeline",
+                    True,
+                    f"fused {'+'.join(chain)} into one per-batch pass",
+                )
+        else:
+            provenance.note(
+                "fuse.pipeline", False, "no fusable operator chain in this plan"
+            )
+    if fused_chains and obs.events_enabled():
+        obs.event(
+            "fuse.pipeline",
+            "fused",
+            "collapsed filter/project/aggregate chains into single-pass operators",
+            chains=len(fused_chains),
+            ops=sum(len(c) for c in fused_chains),
+        )
+    return root

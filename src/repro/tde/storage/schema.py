@@ -47,6 +47,10 @@ class Database:
     def __init__(self, name: str):
         self.name = name
         self.schemas: dict[str, Schema] = {DEFAULT_SCHEMA: Schema(DEFAULT_SCHEMA)}
+        #: Monotonic DDL counter. Any change to the namespace (create
+        #: schema, add/replace/drop table) bumps it; the plan cache keys
+        #: on it so cached plans die with the catalog state they bound to.
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     # Namespace management
@@ -56,6 +60,7 @@ class Database:
             raise StorageError(f"schema {name} already exists")
         schema = Schema(name)
         self.schemas[name] = schema
+        self.version += 1
         return schema
 
     def schema(self, name: str) -> Schema:
@@ -68,10 +73,12 @@ class Database:
         if schema_name not in self.schemas:
             self.create_schema(schema_name)
         self.schemas[schema_name].add_table(table_name, table, replace=replace)
+        self.version += 1
 
     def drop_table(self, qualified: str) -> None:
         schema_name, table_name = self.split_name(qualified)
         self.schema(schema_name).drop_table(table_name)
+        self.version += 1
 
     def table(self, qualified: str) -> Table:
         schema_name, table_name = self.split_name(qualified)

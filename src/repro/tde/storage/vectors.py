@@ -150,6 +150,16 @@ class RleVector(PhysicalVector):
         for v, c, s in zip(self.values, self.counts, self.starts):
             yield int(s), int(c), v
 
+    def expand_runs(self, per_run: np.ndarray, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Expand a per-run array to per-row values over ``[start, stop)``.
+
+        The per-run/per-row bridge of code-space execution: a predicate
+        evaluated once per run (``per_run``) becomes a row mask without
+        ever materializing the decoded column.
+        """
+        stop = self._length if stop is None else stop
+        return np.repeat(per_run, self.counts)[start:stop]
+
     @property
     def nbytes(self) -> int:
         return int(self.values.nbytes + self.counts.nbytes)

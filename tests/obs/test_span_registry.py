@@ -1,4 +1,4 @@
-"""Lint: every span name and link kind used in src/ is registered.
+"""Lint: every span name, event kind and link kind in src/ is registered.
 
 Attribution is keyed by span name (:func:`repro.obs.names.component_of`);
 an unregistered name would silently land in the catch-all component and
@@ -10,7 +10,7 @@ import re
 from pathlib import Path
 
 from repro.obs import LINK_KINDS, SPAN_REGISTRY, component_of
-from repro.obs.names import UNKNOWN_COMPONENT
+from repro.obs.names import EVENT_REGISTRY, UNKNOWN_COMPONENT
 
 SRC = Path(__file__).resolve().parents[2] / "src"
 
@@ -20,6 +20,9 @@ SRC = Path(__file__).resolve().parents[2] / "src"
 # are matched too.
 SPAN_SITE = re.compile(r'obs\.span\(\s*"([^"]+)"')
 LINK_SITE = re.compile(r'add_link\(\s*"([^"]+)"')
+# Decision events are emitted either through the module-level helper
+# (``obs.event("...")``) or the Telemetry plane's ``self._emit("...")``.
+EVENT_SITE = re.compile(r'(?:obs\.event|self\._emit)\(\s*"([^"]+)"')
 
 
 def _sites(pattern):
@@ -55,6 +58,30 @@ class TestSpanRegistry:
 
     def test_unknown_names_fall_into_the_catch_all(self):
         assert component_of("nonexistent.span") == UNKNOWN_COMPONENT
+
+
+class TestEventRegistry:
+    def test_every_event_site_is_registered(self):
+        unregistered = {
+            name: paths
+            for name, paths in _sites(EVENT_SITE).items()
+            if name not in EVENT_REGISTRY
+        }
+        assert unregistered == {}, (
+            f"event kinds missing from EVENT_REGISTRY: {unregistered}"
+        )
+
+    def test_every_registered_event_has_a_call_site(self):
+        used = set(_sites(EVENT_SITE))
+        stale = set(EVENT_REGISTRY) - used
+        assert stale == set(), f"registry entries with no src/ call site: {stale}"
+
+    def test_event_entries_are_well_formed(self):
+        # Historic single-word kinds ("fusion", "pool", "prefetch") are
+        # grandfathered; every dotted kind follows area.verb.
+        for name, description in EVENT_REGISTRY.items():
+            assert re.fullmatch(r"[a-z_]+(\.[a-z_]+)?", name), name
+            assert description
 
 
 class TestLinkKinds:
