@@ -1,0 +1,360 @@
+"""E24 (§3.2): elastic cache tier under a mid-trace crash and a live join.
+
+"Tableau Server does not persist the caches but it utilizes a distributed
+layer based on REDIS or Cassandra ... This allows sharing data across
+nodes in the cluster and keeping data warm regardless of which node
+handles particular requests."
+
+A 2-node VizServer serves a seeded loads-only Zipf trace from a 3-node
+:class:`ReplicatedStore` tier (node-local L1s off, so every zone read
+pays a tier round trip). Mid-trace the tier loses its most-loaded cache
+node to a crash (data gone) and later warms a brand-new node through a
+live join — all under a seeded fault plan injecting latency spikes on
+tier GETs. Two arms differ only in replication factor:
+
+* **R=1** — the crash destroys the only copy of its keys: the post-kill
+  window pays backend refetches, then must recover within one window.
+* **R=2** — surviving replicas absorb the crash: the post-kill window
+  sends *zero* backend queries and a post-crash repair sweep back-fills
+  the lost replicas.
+
+Hard-asserted per arm: steady-state serves entirely from the tier; the
+join migrates keys and destroys none (copies land before drops);
+hit-rate and p95 are back within a bounded envelope of steady state one
+window after each topology change; and every render in both arms is
+byte-identical. The tier's topology decisions (`ring.*` / `reshard.*` /
+`fault.*` events) are exported to ``_results/topology_e24.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro import obs
+from repro.connectors import SimDbDataSource
+from repro.connectors.simdb import ServerProfile
+from repro.core.cache.replicated import ReplicatedStore
+from repro.core.pipeline import PipelineOptions
+from repro.faults import FaultPlan
+from repro.server import VizServer
+from repro.sim.metrics import Recorder
+from repro.workloads import (
+    TrafficGenerator,
+    fig1_dashboard,
+    fig2_dashboard,
+    flights_model,
+    generate_flights,
+)
+
+from .conftest import BENCH_WORK_UNIT_S, RESULTS_DIR, record
+
+ROWS = 6_000
+DATASET = generate_flights(ROWS, seed=31)
+
+#: The trace is cut into fixed windows; topology changes land on window
+#: boundaries so each window's counters describe exactly one regime.
+WINDOW = 20
+PHASES = (
+    ("warm", 0, 20),        # cold fills: the tier populates
+    ("steady", 20, 60),     # everything serves from the tier
+    ("post_kill", 60, 80),  # the most-loaded cache node just crashed
+    ("recovered", 80, 100),  # bounded-window recovery after the crash
+    ("post_join", 100, 120),  # a new node joined and was warm-migrated
+    ("final", 120, 140),    # steady state on the reshaped ring
+)
+KILL_AT, JOIN_AT = 60, 100
+N_EVENTS = PHASES[-1][2]
+
+#: Recovery envelope: one window after a topology change, p95 must sit
+#: back inside max(RECOVERY_FACTOR x steady, steady + RECOVERY_SLACK_MS)
+#: and the tier hit rate back above RECOVERED_HIT_RATE. The factor is
+#: generous because a 20-request window's p95 is its max — one injected
+#: latency spike (<= 2 ms by the plan below) lands in it whole.
+RECOVERY_FACTOR = 4.0
+RECOVERY_SLACK_MS = 10.0
+RECOVERED_HIT_RATE = 0.99
+
+
+def _traffic():
+    """Seeded loads-only Zipf stream over both reference dashboards."""
+    generator = TrafficGenerator(
+        [fig1_dashboard(), fig2_dashboard()],
+        n_users=24,
+        seed=131,
+        interaction_rate=0.0,
+    )
+    return list(generator.events(N_EVENTS))
+
+
+def _fault_plan() -> FaultPlan:
+    """Seeded latency spikes on tier GETs: the schedule is deterministic
+    and slows reads without turning them into misses, so the count
+    assertions stay exact while the tail still absorbs injected jitter."""
+    return FaultPlan(
+        seed=424,
+        rates={"kv.get": 0.04},
+        weights={"latency": 1.0},
+        latency_s=(0.0005, 0.002),
+    )
+
+
+def _most_loaded(tier: ReplicatedStore) -> str:
+    """The crash victim: the live node holding the most keys, so at R=1
+    the kill is guaranteed to destroy sole copies."""
+    return max(
+        tier.live_nodes(), key=lambda n: len(tier.node(n).store.keys())
+    )
+
+
+def _distinct_keys(tier: ReplicatedStore) -> set:
+    keys: set = set()
+    for node_id in tier.live_nodes():
+        keys.update(tier.node(node_id).store.keys())
+    return keys
+
+
+def _hit_rate(server: VizServer, since: dict) -> float:
+    summary = server.cache_summary()
+    hits = summary["l2_hits"] - since["l2_hits"]
+    misses = summary["misses"] - since["misses"]
+    return hits / (hits + misses) if hits + misses else 1.0
+
+
+def _run_arm(replication: int):
+    """Replay the trace against a fresh server + tier; return per-phase
+    counters, every render, and the tier's end-of-run state."""
+    db = DATASET.load_into_simdb(
+        ServerProfile(name="public", work_unit_time_s=BENCH_WORK_UNIT_S),
+        name="public",
+    )
+    plan = _fault_plan()
+    tier = ReplicatedStore(
+        ("c0", "c1", "c2"),
+        replication=replication,
+        latency_s=0.0002,
+        per_mb_s=0.001,
+        faults=plan,
+    )
+    server = VizServer(
+        2,
+        SimDbDataSource(db),
+        flights_model(),
+        store=tier,
+        use_l1=False,  # every zone read pays a tier round trip
+        options=PipelineOptions(enable_intelligent_cache=False),
+    )
+    server.register_dashboard(fig1_dashboard())
+    server.register_dashboard(fig2_dashboard())
+    events = _traffic()
+
+    phases: dict[str, dict] = {}
+    renders: list[tuple[str, object]] = []
+    topology: dict[str, object] = {}
+    for name, start, stop in PHASES:
+        before = server.cache_summary()
+        backend_before = db.stats.queries
+        latencies = []
+        for idx in range(start, stop):
+            if idx == KILL_AT:
+                topology["killed"] = _most_loaded(tier)
+                tier.kill(topology["killed"])
+                # The operator playbook after a crash: a quorum-read
+                # sweep restores R-way replication for every surviving
+                # key (a no-op at R=1 — sole copies are simply gone).
+                topology["sweep_report"] = tier.repair_sweep()
+            if idx == JOIN_AT:
+                held_before = _distinct_keys(tier)
+                topology["join_report"] = tier.join("c3")
+                topology["keys_lost_at_join"] = sorted(
+                    held_before - _distinct_keys(tier)
+                )
+            event = events[idx]
+            started = time.perf_counter()
+            _node, result = server.load(event.user, event.dashboard)
+            latencies.append(time.perf_counter() - started)
+            renders.append((event.dashboard, result))
+        latencies.sort()
+        phases[name] = {
+            "requests": stop - start,
+            "backend_queries": db.stats.queries - backend_before,
+            "tier_hit_rate": _hit_rate(server, before),
+            "p50_ms": latencies[len(latencies) // 2] * 1000,
+            "p95_ms": latencies[int(len(latencies) * 0.95)] * 1000,
+        }
+    return {
+        "phases": phases,
+        "renders": renders,
+        "topology": topology,
+        "server": server,
+        "tier": tier,
+        "fault_digest": plan.digest(),
+        "fault_count": len(plan.export()),
+    }
+
+
+def _reference_tables(renders):
+    """First render per dashboard; asserts intra-arm byte-consistency."""
+    reference: dict[str, dict] = {}
+    for dashboard, result in renders:
+        assert not result.degraded
+        zones = reference.setdefault(dashboard, result.zone_tables)
+        assert zones.keys() == result.zone_tables.keys()
+        for zone, table in result.zone_tables.items():
+            assert table.equals_unordered(zones[zone]), (
+                f"{dashboard}/{zone}: renders diverged within one arm"
+            )
+    return reference
+
+
+def _assert_recovered(phases: dict, name: str, label: str) -> None:
+    steady, window = phases["steady"], phases[name]
+    bound = max(
+        steady["p95_ms"] * RECOVERY_FACTOR,
+        steady["p95_ms"] + RECOVERY_SLACK_MS,
+    )
+    assert window["p95_ms"] <= bound, (
+        f"{label}/{name}: p95 {window['p95_ms']:.2f}ms never recovered "
+        f"(bound {bound:.2f}ms from steady {steady['p95_ms']:.2f}ms)"
+    )
+    assert window["tier_hit_rate"] >= RECOVERED_HIT_RATE, (
+        f"{label}/{name}: tier hit rate stuck at "
+        f"{window['tier_hit_rate']:.3f}"
+    )
+
+
+def _export_topology_events(rec, arm) -> int:
+    """Write the tier's decision log (+ run summary) as one-per-line JSON."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    prefixes = ("ring.", "reshard.", "replica.", "fault.")
+    lines = [
+        json.dumps(ev.to_dict(), sort_keys=True)
+        for ev in rec.events()
+        if ev.kind.startswith(prefixes)
+    ]
+    lines.append(
+        json.dumps(
+            {
+                "kind": "run.summary",
+                "killed": arm["topology"]["killed"],
+                "sweep_report": arm["topology"]["sweep_report"],
+                "join_report": arm["topology"]["join_report"],
+                "fault_digest": arm["fault_digest"],
+                "injected_faults": arm["fault_count"],
+                "cache_tier": arm["server"].statz()["cache_tier"]["fleet"],
+            },
+            sort_keys=True,
+            default=str,
+        )
+    )
+    path = RESULTS_DIR / "topology_e24.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def test_e24_elastic_cache(benchmark):
+    recorder = Recorder(
+        "E24: crash + live join on the replicated cache tier (R=1 vs R=2)",
+        columns=[
+            "arm_phase",
+            "requests",
+            "backend_queries",
+            "tier_hit_rate",
+            "p50_ms",
+            "p95_ms",
+        ],
+    )
+    arms: dict[int, dict] = {}
+    for replication in (1, 2):
+        if replication == 2:
+            with obs.recording() as rec:
+                arm = _run_arm(replication)
+            arm["topology_events"] = _export_topology_events(rec, arm)
+        else:
+            arm = _run_arm(replication)
+        arms[replication] = arm
+        for name, row in arm["phases"].items():
+            recorder.add(
+                f"r{replication}/{name}",
+                row["requests"],
+                row["backend_queries"],
+                round(row["tier_hit_rate"], 4),
+                row["p50_ms"],
+                row["p95_ms"],
+            )
+    record(
+        "e24_elastic_cache",
+        recorder,
+        trace={
+            "topology": {
+                r: {
+                    "killed": arm["topology"]["killed"],
+                    "sweep_report": arm["topology"]["sweep_report"],
+                    "join_report": arm["topology"]["join_report"],
+                    "keys_lost_at_join": arm["topology"]["keys_lost_at_join"],
+                    "fault_digest": arm["fault_digest"],
+                    "injected_faults": arm["fault_count"],
+                }
+                for r, arm in arms.items()
+            },
+            "cache_tier_r2": arms[2]["server"].statz()["cache_tier"]["fleet"],
+        },
+    )
+
+    for replication, arm in arms.items():
+        label, phases = f"r{replication}", arm["phases"]
+        # The trace warms the tier, then steady state never goes remote —
+        # which also proves the injected faults are latency-only.
+        assert phases["warm"]["backend_queries"] > 0
+        assert phases["steady"]["backend_queries"] == 0, label
+        assert phases["steady"]["tier_hit_rate"] == 1.0, label
+        # The fault plan really fired, deterministically.
+        assert arm["fault_count"] > 0 and arm["fault_digest"]
+        # The join warm-migrated key ranges and destroyed nothing:
+        # copies land before surplus replicas drop. (At R=1 the window
+        # may still pay for the *crash* — an unpopular dashboard whose
+        # sole copies died can surface its refetch this late — so the
+        # zero-backend claim is the R=2 arm's, below.)
+        assert arm["topology"]["join_report"]["keys_moved"] > 0, label
+        assert arm["topology"]["keys_lost_at_join"] == [], label
+        # Bounded-window recovery after both topology changes.
+        _assert_recovered(phases, "recovered", label)
+        _assert_recovered(phases, "final", label)
+
+    # The crash is the arms' fork: R=1 loses sole copies and pays backend
+    # refetches; R=2's surviving replicas absorb it entirely.
+    assert arms[1]["phases"]["post_kill"]["backend_queries"] > 0
+    assert arms[1]["phases"]["post_kill"]["tier_hit_rate"] < 1.0
+    assert arms[2]["phases"]["post_kill"]["backend_queries"] == 0
+    assert arms[2]["phases"]["post_kill"]["tier_hit_rate"] == 1.0
+    assert arms[2]["phases"]["post_join"]["backend_queries"] == 0
+    assert arms[2]["phases"]["post_join"]["tier_hit_rate"] == 1.0
+    # The R=2 tier healed: the post-crash sweep back-filled the lost
+    # replicas (at R=1 there is nothing left to repair from).
+    assert arms[2]["topology"]["sweep_report"]["repaired"] > 0
+    assert arms[2]["tier"].statz()["fleet"]["read_repairs"] > 0
+    assert arms[1]["topology"]["sweep_report"]["repaired"] == 0
+    assert arms[2]["topology_events"] > 0
+
+    # Both arms rendered byte-identical dashboards throughout.
+    reference = {r: _reference_tables(arm["renders"]) for r, arm in arms.items()}
+    assert reference[1].keys() == reference[2].keys()
+    for dashboard, zones in reference[1].items():
+        for zone, table in zones.items():
+            assert table.equals_unordered(reference[2][dashboard][zone]), (
+                f"{dashboard}/{zone}: replication changed the answer"
+            )
+
+    # Representative timed path: a warm load on the post-join R=2 tier.
+    server = arms[2]["server"]
+    warm_ms = benchmark.pedantic(
+        lambda: _probe(server), rounds=3, iterations=1
+    )
+    assert warm_ms > 0.0
+
+
+def _probe(server: VizServer) -> float:
+    started = time.perf_counter()
+    _node, result = server.load("probe", fig2_dashboard().name)
+    assert not result.degraded
+    return (time.perf_counter() - started) * 1000

@@ -72,6 +72,14 @@ TOLERANCE_PROFILES: dict[str, dict[str, float]] = {
         # hard assertions (>=2x fused, every repeat a hit, warm < cold)
         # are the real guard, the gate just catches gross drift.
         "e23_kernel_fusion": 1.5,
+        # The steady/recovered windows time sub-millisecond tier-served
+        # loads (proportionally noisy), and every 20-request window's
+        # p95 is its max — one injected latency spike or backend refetch
+        # lands in it whole. The real guards are the benchmark's hard
+        # assertions (zero post-kill backend queries at R=2, no keys
+        # lost at join, bounded-window recovery); the gate only catches
+        # a warm serve degenerating into a cold path.
+        "e24_elastic_cache": 1.5,
     },
     "ci": {
         "*": 3.0,
@@ -80,6 +88,7 @@ TOLERANCE_PROFILES: dict[str, dict[str, float]] = {
         "e21_telemetry": 5.0,
         "e22_trace_attribution": 5.0,
         "e23_kernel_fusion": 5.0,
+        "e24_elastic_cache": 5.0,
     },
 }
 

@@ -3,8 +3,14 @@
 from .eviction import CacheEntry, EvictionPolicy
 from .intelligent import IntelligentCache, MatchResult, enrich_spec, match_specs
 from .literal import LiteralCache
-from .distributed import DistributedQueryCache, KeyValueStore
+from .distributed import (
+    DistributedLiteralCache,
+    DistributedQueryCache,
+    KeyValueStore,
+)
 from .persistence import load_intelligent_cache, save_intelligent_cache
+from .replicated import CacheNode, ReplicatedStore
+from .ring import HashRing, stable_hash
 
 __all__ = [
     "CacheEntry",
@@ -16,6 +22,11 @@ __all__ = [
     "LiteralCache",
     "KeyValueStore",
     "DistributedQueryCache",
+    "DistributedLiteralCache",
+    "HashRing",
+    "stable_hash",
+    "CacheNode",
+    "ReplicatedStore",
     "save_intelligent_cache",
     "load_intelligent_cache",
 ]

@@ -50,6 +50,8 @@ class KeyValueStore:
         self.gets = 0
         self.puts = 0
         self.hit_count = 0
+        self.miss_count = 0
+        self.deletes = 0
 
     def _round_trip(self, payload_bytes: int) -> None:
         delay = self.latency_s + (payload_bytes / 1e6) * self.per_mb_s
@@ -62,8 +64,15 @@ class KeyValueStore:
             self.gets += 1
             if payload is not None:
                 self.hit_count += 1
+            else:
+                self.miss_count += 1
         self._round_trip(len(payload) if payload else 0)
         return payload
+
+    def peek(self, key: str) -> bytes | None:
+        """Raw read for introspection: no round trip, no counters skewed."""
+        with self._lock:
+            return self._data.get(key)
 
     def put(self, key: str, payload: bytes) -> None:
         self._round_trip(len(payload))
@@ -73,18 +82,43 @@ class KeyValueStore:
 
     def delete(self, key: str) -> None:
         with self._lock:
-            self._data.pop(key, None)
+            if self._data.pop(key, None) is not None:
+                self.deletes += 1
 
     def flush(self) -> None:
         with self._lock:
             self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
+
+    def keys(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._data)
 
     def total_bytes(self) -> int:
         with self._lock:
             return sum(len(v) for v in self._data.values())
+
+    def stats(self) -> dict:
+        """One snapshot-consistent view of every counter.
+
+        All counts are read under the same lock acquisition, so
+        ``hits + misses == gets`` holds in the snapshot even while other
+        threads are mid-GET — reading the public attributes one by one
+        cannot promise that.
+        """
+        with self._lock:
+            return {
+                "gets": self.gets,
+                "puts": self.puts,
+                "hits": self.hit_count,
+                "misses": self.miss_count,
+                "deletes": self.deletes,
+                "entries": len(self._data),
+                "bytes": sum(len(v) for v in self._data.values()),
+            }
 
 
 def serialize_table(table: Table) -> bytes:
@@ -102,7 +136,12 @@ def deserialize_table(payload: bytes) -> Table:
 
 
 class DistributedQueryCache:
-    """A node-local L1 over a shared L2 store."""
+    """A node-local L1 over a shared L2 store.
+
+    ``store`` is anything with the :class:`KeyValueStore` byte API — the
+    single store E7 models or the replicated
+    :class:`~repro.core.cache.replicated.ReplicatedStore` tier.
+    """
 
     def __init__(
         self,
@@ -149,3 +188,63 @@ class DistributedQueryCache:
         with self._lock:
             self._l1[key] = CacheEntry(key, "", table, table.nbytes)
             self.l1_policy.purge(self._l1)
+
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Drop every entry under ``prefix`` from the L1 *and* the shared
+        store (fanning out across a replicated tier when backed by one)."""
+        with self._lock:
+            doomed = [k for k in self._l1 if k.startswith(prefix)]
+            for key in doomed:
+                del self._l1[key]
+        fan_out = getattr(self.store, "invalidate_prefix", None)
+        if fan_out is not None:
+            return fan_out(prefix)
+        removed = 0
+        for key in self.store.keys():
+            if key.startswith(prefix):
+                self.store.delete(key)
+                removed += 1
+        return removed
+
+    def describe(self, key: str) -> dict | None:
+        """Replica placement of ``key``, when the store can tell (EXPLAIN)."""
+        describe = getattr(self.store, "describe", None)
+        return describe(key) if describe is not None else None
+
+
+class DistributedLiteralCache:
+    """Adapter exposing a :class:`DistributedQueryCache` as the pipeline's
+    literal cache.
+
+    Store keys are namespaced ``{datasource}|{literal key}`` so an extract
+    refresh (or DDL) of one source can fan its invalidation out across the
+    tier without touching other sources' entries — the same
+    source-scoped discipline the plan cache uses.
+    """
+
+    def __init__(self, cache: DistributedQueryCache, datasource: str):
+        self.cache = cache
+        self.datasource = datasource
+
+    def _key(self, key: str) -> str:
+        return f"{self.datasource}|{key}"
+
+    def get(self, key: str) -> Table | None:
+        return self.cache.get(self._key(key))
+
+    def put(
+        self, key: str, datasource: str, result: Table, *, cost_s: float = 0.0
+    ) -> None:
+        self.cache.put(self._key(key), result)
+
+    def invalidate(self, datasource: str | None = None) -> int:
+        # The adapter is bound to one namespace at construction; callers
+        # pass whatever name *they* know the source by (the pipeline
+        # passes the backend name, the server the publish name), so the
+        # argument is ignored — an invalidation always purges exactly
+        # this adapter's namespace, on every node of the tier.
+        del datasource
+        return self.cache.invalidate_prefix(f"{self.datasource}|")
+
+    def describe(self, key: str) -> dict | None:
+        return self.cache.describe(self._key(key))

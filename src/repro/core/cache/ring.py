@@ -1,0 +1,141 @@
+"""Consistent-hash ring with virtual nodes for the cache tier (paper 3.2).
+
+The paper's server tier shares cache state through "a distributed layer
+based on REDIS or Cassandra"; both place keys with consistent hashing so
+nodes can join and leave without re-keying the world. :class:`HashRing`
+is that placement function, kept deliberately free of I/O and liveness
+concerns (those live in :class:`~repro.core.cache.replicated.ReplicatedStore`)
+so its properties are testable in isolation:
+
+* **Determinism.** Points are 64-bit truncations of MD5 digests —
+  independent of ``PYTHONHASHSEED``, identical on every platform — so
+  seeded placement tests and two-run replays are byte-identical.
+* **Balance.** Each physical node projects ``vnodes`` virtual points
+  onto the ring; with O(100) points per node the max/mean ownership skew
+  over a large key population stays within a small constant factor.
+* **Minimal movement.** Adding a node moves only the key ranges that
+  now hash to the new node's points (~``1/(n+1)`` of the keyspace);
+  removing one reassigns only the ranges it owned. A key's replica set
+  never changes between two *surviving* nodes on a topology change —
+  the property suite asserts exactly this.
+
+:meth:`owners` returns the **preference list**: the first ``r`` distinct
+physical nodes clockwise from the key's point. Replication, quorums and
+read-repair interpret that list; the ring only computes it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections import Counter
+from typing import Iterable
+
+
+def stable_hash(value: str) -> int:
+    """A 64-bit placement hash independent of PYTHONHASHSEED."""
+    return int.from_bytes(hashlib.md5(value.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring: node ids -> virtual points -> key ownership."""
+
+    def __init__(self, nodes: Iterable[str] = (), *, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        #: Sorted (point, node_id) pairs; ties break on node_id, so the
+        #: walk order is total and deterministic.
+        self._points: list[tuple[int, str]] = []
+        self._nodes: set[str] = set()
+        for node_id in nodes:
+            self.add_node(node_id)
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    def add_node(self, node_id: str) -> int:
+        """Project ``node_id``'s virtual points; returns how many."""
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} is already on the ring")
+        self._nodes.add(node_id)
+        for v in range(self.vnodes):
+            bisect.insort(self._points, (stable_hash(f"{node_id}#{v}"), node_id))
+        return self.vnodes
+
+    def remove_node(self, node_id: str) -> int:
+        """Withdraw ``node_id``'s points; returns how many were removed."""
+        if node_id not in self._nodes:
+            raise ValueError(f"node {node_id!r} is not on the ring")
+        self._nodes.discard(node_id)
+        before = len(self._points)
+        self._points = [p for p in self._points if p[1] != node_id]
+        return before - len(self._points)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def owners(self, key: str, r: int = 1) -> tuple[str, ...]:
+        """The preference list: first ``r`` distinct nodes clockwise.
+
+        Fewer than ``r`` nodes on the ring yields all of them; an empty
+        ring yields ``()``. The list order is significant — index 0 is
+        the primary, later entries the replicas a quorum-ish GET walks.
+        """
+        if not self._points:
+            return ()
+        want = min(r, len(self._nodes))
+        idx = bisect.bisect_right(self._points, (stable_hash(key), "\uffff"))
+        out: list[str] = []
+        seen: set[str] = set()
+        n = len(self._points)
+        for i in range(n):
+            _point, node_id = self._points[(idx + i) % n]
+            if node_id not in seen:
+                seen.add(node_id)
+                out.append(node_id)
+                if len(out) >= want:
+                    break
+        return tuple(out)
+
+    def primary(self, key: str) -> str | None:
+        owners = self.owners(key, 1)
+        return owners[0] if owners else None
+
+    # ------------------------------------------------------------------ #
+    # Introspection (tests, statz)
+    # ------------------------------------------------------------------ #
+    def ownership(self, keys: Iterable[str], r: int = 1) -> Counter:
+        """How many of ``keys`` each node owns (any replica slot)."""
+        counts: Counter = Counter({node: 0 for node in self._nodes})
+        for key in keys:
+            for node in self.owners(key, r):
+                counts[node] += 1
+        return counts
+
+    def skew(self, keys: Iterable[str]) -> float:
+        """Max/mean primary-ownership ratio over ``keys`` (1.0 = perfect)."""
+        counts = self.ownership(keys, 1)
+        if not counts:
+            return 0.0
+        mean = sum(counts.values()) / len(counts)
+        if mean == 0:
+            return 0.0
+        return max(counts.values()) / mean
+
+    def snapshot(self) -> dict:
+        return {
+            "nodes": list(self.nodes),
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+        }

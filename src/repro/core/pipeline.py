@@ -639,7 +639,12 @@ class QueryPipeline:
 
     # ------------------------------------------------------------------ #
     def explain_batch(
-        self, specs: list[QuerySpec], *, analyze: bool = False, assume_cold: bool = False
+        self,
+        specs: list[QuerySpec],
+        *,
+        analyze: bool = False,
+        assume_cold: bool = False,
+        reuse_fields: frozenset[str] = frozenset(),
     ) -> list[dict]:
         """Per-request plan report: what ``run_batch`` would do, and why.
 
@@ -713,6 +718,15 @@ class QueryPipeline:
             remote_specs = list(pending)
         fused = fuse_batch(remote_specs, enabled=self.options.enable_fusion)
         backend = self._backend_engine()
+        # A distributed literal cache can say where a key's replicas sit
+        # (primary miss -> replica fallback, lagging copies -> repair);
+        # surface that placement per zone so EXPLAIN answers "why was
+        # this served from a replica?" without a debugger.
+        describe_tier = (
+            getattr(self.literal_cache, "describe", None)
+            if self.options.enable_literal_cache
+            else None
+        )
         breaker = getattr(self.pool, "breaker", None)
         breaker_note = None
         if breaker is not None and breaker.state != "closed":
@@ -721,8 +735,17 @@ class QueryPipeline:
                 "rejected fast and degraded (stale serve or per-spec error)"
             )
         for fq in fused:
+            # Compile exactly what run_batch would send: the (optionally
+            # enriched) spec — so the reported text, plan, and cache-tier
+            # placement all describe the query that actually runs, and
+            # the literal key matches the tier's.
+            send_spec = (
+                enrich_spec(fq.spec, reuse_fields=reuse_fields)
+                if self.options.enrich_for_reuse
+                else fq.spec
+            )
             compiled = compile_spec(
-                fq.spec,
+                send_spec,
                 self.model,
                 self.source,
                 externalize_threshold=self.options.externalize_threshold,
@@ -746,6 +769,10 @@ class QueryPipeline:
                 entry["language"] = compiled.language
                 entry["text"] = compiled.text
                 entry["plan"] = plan
+                if describe_tier is not None:
+                    placement = describe_tier(compiled.literal_key)
+                    if placement is not None:
+                        entry["cache_tier"] = placement["note"]
                 if breaker_note is not None:
                     entry["degradation"] = breaker_note
         return [reports[spec.canonical()] for spec in ordered]

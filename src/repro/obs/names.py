@@ -104,6 +104,22 @@ EVENT_REGISTRY: dict[str, str] = {
     # -- SLO monitoring ------------------------------------------------- #
     "slo.breach": "windowed latency crossed the SLO burn threshold",
     "slo.recovered": "windowed latency returned under the SLO threshold",
+    # -- cache-tier ring topology ---------------------------------------- #
+    "ring.join": "a cache node joined the hash ring (warm-up may follow)",
+    "ring.leave": "a cache node is draining its keys and leaving the ring",
+    "ring.kill": "a cache node crashed off the ring, losing its data",
+    "ring.fail": "a cache node became unreachable (data retained)",
+    "ring.recover": "an unreachable cache node is back; repair converges it",
+    # -- cache-tier replication ------------------------------------------ #
+    "replica.fallback": "primary replica missed; a later replica served the read",
+    "replica.read_repair": "a missing or stale replica was back-filled with the newest version",
+    "replica.under_quorum": "a write was acked by fewer replicas than the quorum",
+    "replica.expired": "a TTL'd entry outlived its deadline and was dropped on read",
+    "replica.invalidate": "an invalidation (refresh/DDL) fanned out across the tier",
+    # -- cache-tier resharding ------------------------------------------- #
+    "reshard.plan": "topology change planned its key copies and surplus drops",
+    "reshard.copy": "one key range migrated to its new owner",
+    "reshard.done": "a migration, drain, or repair sweep finished",
 }
 
 #: Causal link kinds (Span.add_link) — documented here so traceview and

@@ -14,12 +14,14 @@ import time
 from typing import Callable
 
 from .. import obs
+from ..core.cache.distributed import DistributedQueryCache
 from ..errors import ServerError
 from ..obs.metrics import Histogram
 from ..obs.window import SLOMonitor, SLOObjective, WindowedHistogram
 from ..tde.engine import DataEngine
 from ..tde.optimizer.catalog import StorageCatalog
 from ..tde.optimizer.parallel import PlannerOptions
+from ..tde.plancache import normalize_tql
 from ..tde.storage.table import Table
 
 
@@ -50,6 +52,7 @@ class TdeCluster:
         options: PlannerOptions | None = None,
         telemetry: bool = False,
         slo: SLOObjective | None = None,
+        result_store=None,
         clock=None,
     ):
         """``loader`` populates one engine with tables and constraints.
@@ -60,6 +63,12 @@ class TdeCluster:
         each node keeps a trailing-window latency histogram and the
         cluster evaluates a fleet-level SLO; :meth:`statz` merges the
         per-node windows into a fleet view.
+
+        ``result_store`` (a KeyValueStore or elastic ReplicatedStore)
+        adds a cluster-wide result cache in front of the balancer: string
+        queries are keyed on normalized TQL **plus the catalog version**,
+        the plan cache's invalidation discipline — a refresh or DDL bumps
+        the version, so stale results can never be served after one.
         """
         if mode not in self.MODES:
             raise ServerError(f"unknown cluster mode {mode!r}")
@@ -80,6 +89,13 @@ class TdeCluster:
                 return None
             return WindowedHistogram(f"node{i}.query_s", clock=clock)
 
+        self.result_cache: DistributedQueryCache | None = (
+            DistributedQueryCache(result_store, "tde-cluster")
+            if result_store is not None
+            else None
+        )
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
         self.nodes: list[_Node] = []
         if mode == "shared-everything":
             primary = DataEngine("tde-cluster", options=options)
@@ -111,6 +127,17 @@ class TdeCluster:
             node.in_flight += 1
             return node
 
+    def _result_key(self, tql: str) -> str:
+        """Result-cache key: normalized TQL + catalog version.
+
+        Node 0's catalog stamps the version — in shared-everything mode
+        the catalog *is* shared, and in shared-nothing mode every node
+        was populated by the same loader, so versions advance together.
+        A refresh or DDL bumps the pair and orphans every older entry.
+        """
+        ddl_version, decl_version = self.nodes[0].engine.catalog.version
+        return f"tql|{ddl_version}.{decl_version}|{normalize_tql(tql)}"
+
     def query(
         self, tql: str, *, trace_parent: dict | None = None
     ) -> tuple[int, Table]:
@@ -120,7 +147,28 @@ class TdeCluster:
         :meth:`repro.obs.TraceContext.to_wire`) joins the dispatched
         node's span tree to the caller's trace — the load-balancer hop
         stitches instead of starting a fresh trace.
+
+        With a result cache configured, a hit short-circuits the balancer
+        entirely and reports ``node_id = -1``.
         """
+        cache_key = None
+        if self.result_cache is not None and isinstance(tql, str):
+            cache_key = self._result_key(tql)
+            cached = self.result_cache.get(cache_key)
+            if cached is not None:
+                with self._lock:
+                    self.result_cache_hits += 1
+                if obs.events_enabled():
+                    obs.event(
+                        "cache.literal",
+                        "hit",
+                        "cluster result cache served the normalized query "
+                        "without dispatching a node",
+                        tier="tde-cluster",
+                    )
+                return -1, cached
+            with self._lock:
+                self.result_cache_misses += 1
         node = self._pick()
         started = self._now() if self.telemetry else 0.0
         failed = False
@@ -146,6 +194,8 @@ class TdeCluster:
                 elapsed = self._now() - started
                 node.window.observe(elapsed, trace_id=trace_id)
                 self.slo.record(elapsed)
+        if cache_key is not None:
+            self.result_cache.put(cache_key, result)
         return node.node_id, result
 
     def in_flight_snapshot(self) -> list[int]:
@@ -201,6 +251,17 @@ class TdeCluster:
             for key in plan_fleet:
                 plan_fleet[key] += stats[key]
         snap["plan_cache"] = plan_fleet
+        if self.result_cache is not None:
+            with self._lock:
+                snap["result_cache"] = {
+                    "hits": self.result_cache_hits,
+                    "misses": self.result_cache_misses,
+                    "l1_hits": self.result_cache.l1_hits,
+                    "l2_hits": self.result_cache.l2_hits,
+                }
+            tier_statz = getattr(self.result_cache.store, "statz", None)
+            if tier_statz is not None:
+                snap["cache_tier"] = tier_statz()
         if not self.telemetry:
             return snap
         fleet = Histogram("fleet.query_s")

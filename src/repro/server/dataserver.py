@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from .. import obs
+from ..core.cache.distributed import DistributedLiteralCache, DistributedQueryCache
 from ..core.pipeline import PipelineOptions, QueryPipeline
 from ..errors import PermissionError_, ServerError, SourceUnavailableError
 from ..obs.critpath import slowlog_path
@@ -51,6 +52,7 @@ class DataServer:
     def __init__(
         self,
         *,
+        store=None,
         telemetry: TelemetryOptions | bool | None = None,
         clock=None,
     ) -> None:
@@ -58,6 +60,12 @@ class DataServer:
         self._lock = threading.Lock()
         self._clock = clock
         self._now = clock.monotonic if clock is not None else time.monotonic
+        #: Optional shared cache tier (a KeyValueStore or elastic
+        #: ReplicatedStore): when present, every published pipeline's
+        #: literal cache is backed by it (namespaced per source), so
+        #: results stay warm across proxy restarts and server nodes, and
+        #: an extract refresh fans its invalidation out across the tier.
+        self.store = store
         self.telemetry: Telemetry | None = None
         if telemetry:
             telemetry_options = (
@@ -85,7 +93,18 @@ class DataServer:
                 options = dataclasses.replace(
                     options or PipelineOptions(), enable_ledger=True
                 )
-            pipeline = QueryPipeline(source, model, options=options, clock=self._clock)
+            literal_cache = None
+            if self.store is not None:
+                literal_cache = DistributedLiteralCache(
+                    DistributedQueryCache(self.store, f"dataserver:{name}"), name
+                )
+            pipeline = QueryPipeline(
+                source,
+                model,
+                options=options,
+                literal_cache=literal_cache,
+                clock=self._clock,
+            )
             published = PublishedDataSource(
                 name, model, source, pipeline, TempTableState(), dict(user_filters or {})
             )
@@ -145,6 +164,9 @@ class DataServer:
             "telemetry_enabled": self.telemetry is not None,
             "published": published,
         }
+        tier_statz = getattr(self.store, "statz", None)
+        if tier_statz is not None:
+            snap["cache_tier"] = tier_statz()
         if self.telemetry is not None:
             snap.update(self.telemetry.statz())
         return snap

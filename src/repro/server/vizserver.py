@@ -19,7 +19,11 @@ import threading
 import time
 
 from .. import obs
-from ..core.cache.distributed import DistributedQueryCache, KeyValueStore
+from ..core.cache.distributed import (
+    DistributedLiteralCache,
+    DistributedQueryCache,
+    KeyValueStore,
+)
 from ..core.cache.eviction import EvictionPolicy
 from ..core.coalesce import SingleFlightRegistry
 from ..core.pipeline import PipelineOptions, QueryPipeline
@@ -30,23 +34,6 @@ from ..obs.critpath import slowlog_path
 from ..obs.slowlog import SlowQueryEntry
 from ..obs.window import Telemetry, TelemetryOptions
 from ..queries.model import DataSourceModel
-from ..tde.storage.table import Table
-
-
-class _DistributedLiteralCache:
-    """Adapter exposing the distributed cache as a literal-cache."""
-
-    def __init__(self, cache: DistributedQueryCache):
-        self.cache = cache
-
-    def get(self, key: str) -> Table | None:
-        return self.cache.get(key)
-
-    def put(self, key: str, datasource: str, result: Table, *, cost_s: float = 0.0) -> None:
-        self.cache.put(key, result)
-
-    def invalidate(self, datasource: str | None = None) -> int:
-        return 0  # entries age out of the shared store; nothing local
 
 
 class ServerNode:
@@ -72,7 +59,9 @@ class ServerNode:
             source,
             model,
             options=options,
-            literal_cache=_DistributedLiteralCache(self.distributed),
+            literal_cache=DistributedLiteralCache(
+                self.distributed, getattr(source, "name", "source")
+            ),
             coalescer=coalescer,
             clock=clock,
         )
@@ -96,7 +85,13 @@ class VizServer:
     ):
         if n_nodes < 1:
             raise ServerError("VizServer needs at least one node")
-        self.store = store or KeyValueStore()
+        # ``store`` is any KeyValueStore-shaped byte store — the single
+        # shared store E7 models, or an elastic
+        # :class:`~repro.core.cache.replicated.ReplicatedStore` tier whose
+        # nodes can join/leave/crash while this server keeps serving.
+        # `store or KeyValueStore()` would discard an *empty* store —
+        # both KeyValueStore and ReplicatedStore are falsy at len() == 0.
+        self.store = store if store is not None else KeyValueStore()
         self._now = clock.monotonic if clock is not None else time.monotonic
         # The telemetry plane (windowed latency, SLO burn, slow-query
         # log) needs per-request ledgers, so enabling it forces
@@ -327,8 +322,17 @@ class VizServer:
         with session.lock:
             zones = session.dashboard.queryable_zones()
             zone_specs = [(zone.name, session.effective_spec(zone)) for zone in zones]
+            # Mirror the renderer's reuse hint so the explained queries
+            # (and their literal-cache keys) are the ones a render sends.
+            reuse = frozenset(
+                action.field
+                for zone in zones
+                for action in session.dashboard.actions_onto(zone.name)
+            )
         reports = node.pipeline.explain_batch(
-            [spec for _name, spec in zone_specs], analyze=analyze
+            [spec for _name, spec in zone_specs],
+            analyze=analyze,
+            reuse_fields=reuse,
         )
         by_canonical = {report["spec"]: report for report in reports}
         return {
@@ -371,11 +375,24 @@ class VizServer:
             for node_id, snap in nodes.items()
             if snap["breaker"] is not None and snap["breaker"]["state"] != "closed"
         ]
-        return {
+        health = {
             "nodes": nodes,
             "degraded_nodes": degraded,
             "coalesce": self.coalescer.snapshot(),
         }
+        tier_statz = getattr(self.store, "statz", None)
+        if tier_statz is not None:
+            tier = tier_statz()
+            health["cache_tier"] = {
+                "live_nodes": tier["fleet"]["live_nodes"],
+                "degraded_cache_nodes": sorted(
+                    node_id
+                    for node_id, snap in tier["nodes"].items()
+                    if not snap["alive"]
+                ),
+                "under_quorum_writes": tier["fleet"]["under_quorum_writes"],
+            }
+        return health
 
     # ------------------------------------------------------------------ #
     def statz(self) -> dict:
@@ -395,6 +412,9 @@ class VizServer:
             },
             "coalesce": self.coalescer.snapshot(),
         }
+        tier_statz = getattr(self.store, "statz", None)
+        if tier_statz is not None:
+            snap["cache_tier"] = tier_statz()
         if self.telemetry is not None:
             snap.update(self.telemetry.statz())
         return snap

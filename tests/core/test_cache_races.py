@@ -228,3 +228,101 @@ class TestPrefetcherStatsRace:
         _run_threads(worker)
         assert prefetcher.stats.batches == N_THREADS * per_thread
         assert prefetcher.stats.specs_prefetched == N_THREADS * per_thread * 3
+
+
+class TestKeyValueStoreAccounting:
+    """Regression (PR 9): the shared store's counters must be one
+    snapshot-consistent family.
+
+    ``hit_count`` used to be incremented under the lock while readers
+    summed the public attributes one by one — a sampler could see
+    ``gets`` advance before the matching hit/miss landed, so hit-rate
+    math over the fleet drifted. ``stats()`` now reads every counter in
+    a single lock acquisition; ``hits + misses == gets`` must hold in
+    *every* concurrent snapshot, not just at quiescence.
+    """
+
+    def _store(self):
+        from repro.core.cache.distributed import KeyValueStore
+
+        return KeyValueStore(latency_s=0.0, per_mb_s=0.0)
+
+    def test_snapshots_conserve_counts_under_concurrency(self):
+        store = self._store()
+        stop = threading.Event()
+        bad_snapshots: list[dict] = []
+
+        def sampler() -> None:
+            while not stop.is_set():
+                snap = store.stats()
+                if snap["hits"] + snap["misses"] != snap["gets"]:
+                    bad_snapshots.append(snap)
+                if snap["deletes"] > snap["puts"]:
+                    bad_snapshots.append(snap)
+
+        watcher = threading.Thread(target=sampler)
+        watcher.start()
+        try:
+
+            def worker(thread_index: int) -> None:
+                rng = random.Random(f"kv-acct|{thread_index}")
+                for _ in range(OPS_PER_THREAD):
+                    key = f"k{rng.randrange(16)}"
+                    roll = rng.random()
+                    if roll < 0.45:
+                        store.put(key, b"x" * rng.randrange(1, 64))
+                    elif roll < 0.9:
+                        store.get(key)
+                    else:
+                        store.delete(key)
+
+            _run_threads(worker)
+        finally:
+            stop.set()
+            watcher.join()
+        assert not bad_snapshots, bad_snapshots[:3]
+
+        final = store.stats()
+        issued = N_THREADS * OPS_PER_THREAD
+        assert final["gets"] + final["puts"] + final["deletes"] <= issued
+        assert final["hits"] + final["misses"] == final["gets"]
+        # Only keys that existed count as deletes, so puts bound them.
+        assert final["deletes"] <= final["puts"]
+        assert final["entries"] == len(store)
+        assert final["bytes"] == store.total_bytes()
+
+    def test_len_and_keys_are_locked_snapshots(self):
+        store = self._store()
+
+        def worker(thread_index: int) -> None:
+            rng = random.Random(f"kv-len|{thread_index}")
+            for i in range(OPS_PER_THREAD):
+                key = f"k{rng.randrange(16)}"
+                if rng.random() < 0.5:
+                    store.put(key, b"payload")
+                else:
+                    store.delete(key)
+                # These iterate the dict internally: they must never see
+                # a mid-mutation view (RuntimeError) under writers.
+                assert len(store) >= 0
+                assert isinstance(store.keys(), tuple)
+                store.total_bytes()
+
+        _run_threads(worker)
+
+    def test_delete_counts_only_real_removals(self):
+        store = self._store()
+        store.put("k", b"v")
+        store.delete("k")
+        store.delete("k")  # second delete is a no-op
+        store.delete("ghost")
+        assert store.stats()["deletes"] == 1
+
+    def test_peek_skews_no_counters(self):
+        store = self._store()
+        store.put("k", b"v")
+        before = store.stats()
+        assert store.peek("k") == b"v"
+        assert store.peek("ghost") is None
+        after = store.stats()
+        assert before == after
